@@ -1,0 +1,53 @@
+// Command blifgen dumps the embedded benchmark suite as BLIF files so the
+// circuits can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	blifgen [-dir out] [-list] [name ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/blif"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "blifgen:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		nw := bench.Get(name)
+		path := filepath.Join(*dir, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blifgen:", err)
+			os.Exit(1)
+		}
+		if err := blif.Write(f, nw); err != nil {
+			fmt.Fprintln(os.Stderr, "blifgen:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("%s: %d PI, %d PO, %d nodes\n", path, len(nw.PIs()), len(nw.POs()), nw.NumNodes())
+	}
+}

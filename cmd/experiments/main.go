@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's experimental tables (II–V):
+// factored-form literal counts and CPU times for SIS-style algebraic
+// resubstitution versus the three RAR-based Boolean substitution
+// configurations, over the benchmark suite.
+//
+// Usage:
+//
+//	experiments [-table N] [-circuits a,b,c] [-list]
+//
+// With no flags all four tables run over the whole suite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to reproduce (2-5); 0 = all")
+	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	var names []string
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	tables := []int{2, 3, 4, 5}
+	if *table != 0 {
+		if *table < 2 || *table > 6 {
+			fmt.Fprintln(os.Stderr, "experiments: -table must be 2-5 (paper) or 6 (extension: script.boolean)")
+			os.Exit(2)
+		}
+		tables = []int{*table}
+	}
+	ok := true
+	var results []exp.Table
+	for _, t := range tables {
+		res := exp.Run(t, names)
+		if *asJSON {
+			results = append(results, res)
+		} else {
+			res.Print(os.Stdout)
+			fmt.Println()
+		}
+		if !res.AllEquivalent() {
+			ok = false
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "experiments: equivalence check FAILED for at least one cell")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of Chang & Cheng,
+// "Efficient Boolean Division and Substitution" (DAC 1998; journal version
+// IEEE TCAD 18(8), 1999): Boolean division and substitution of logic-network
+// nodes built on redundancy addition and removal, together with every
+// substrate the paper depends on.
+//
+// The root package carries only documentation and the repository-level test
+// and benchmark harnesses (bench_test.go regenerates every table and figure
+// of the paper's evaluation; integration_test.go runs the end-to-end flows).
+// The implementation lives under internal/:
+//
+//   - internal/cube — positional-notation cubes and covers
+//   - internal/mini — Espresso-style and exact two-level minimization
+//   - internal/algebraic — weak division, kernels, factoring
+//   - internal/network — the multilevel Boolean network
+//   - internal/netlist — the gate-level two-level AND–OR decomposition
+//   - internal/atpg — implications, untestability, PODEM, fault simulation
+//   - internal/core — the paper's division and substitution algorithms
+//   - internal/opt — SIS-like commands (simplify, resub, gcx, gkx, …)
+//   - internal/script — Scripts A/B/C and script.algebraic
+//   - internal/sat, internal/bdd — CDCL SAT and ROBDD substrates
+//   - internal/bench, internal/exp — benchmark suite and table harness
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for measured results.
+package repro

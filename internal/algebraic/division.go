@@ -1,0 +1,283 @@
+// Package algebraic implements the cover-level algebra of multilevel logic
+// synthesis: weak (algebraic) division, kernel extraction, and algebraic
+// factoring with factored-form literal counting — the cost metric used by
+// SIS and by the paper's experimental tables. Network-level commands built
+// on these primitives (resub, gcx, gkx, decomp) live in internal/opt.
+package algebraic
+
+import (
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// WeakDivide performs algebraic (weak) division of f by the divisor d,
+// returning quotient q and remainder r with f = q·d + r as algebraic
+// expressions (set-of-cubes semantics, no Boolean identities). The quotient
+// is zero when d does not algebraically divide f.
+func WeakDivide(f, d cube.Cover) (q, r cube.Cover) {
+	n := f.NumVars()
+	q = cube.NewCover(n)
+	r = cube.NewCover(n)
+	if d.IsZero() {
+		r = f.Clone()
+		return q, r
+	}
+	// Quotient = intersection over divisor cubes of { c/dk : dk ⊆-lits c }.
+	var qset map[string]cube.Cube
+	for i, dk := range d.Cubes {
+		cur := make(map[string]cube.Cube)
+		for _, c := range f.Cubes {
+			if qc, ok := divideCube(c, dk); ok {
+				cur[coverKey(qc)] = qc
+			}
+		}
+		if i == 0 {
+			qset = cur
+		} else {
+			for k := range qset {
+				if _, ok := cur[k]; !ok {
+					delete(qset, k)
+				}
+			}
+		}
+		if len(qset) == 0 {
+			r = f.Clone()
+			return q, r
+		}
+	}
+	for _, c := range qset {
+		q.Cubes = append(q.Cubes, c)
+	}
+	cube.Canon(q.Cubes)
+	// Remainder: cubes of f not produced by q·d.
+	prod := make(map[string]bool)
+	for _, qc := range q.Cubes {
+		for _, dk := range d.Cubes {
+			p := qc.And(dk)
+			if !p.IsEmpty() {
+				prod[coverKey(p)] = true
+			}
+		}
+	}
+	for _, c := range f.Cubes {
+		if !prod[coverKey(c)] {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	return q, r
+}
+
+// divideCube returns c with dk's literals removed, when dk's literals are a
+// subset of c's (i.e. dk contains c) and the result shares no variable with
+// dk; otherwise ok is false.
+func divideCube(c, dk cube.Cube) (cube.Cube, bool) {
+	if !dk.Contains(c) {
+		return cube.Cube{}, false
+	}
+	out := c.Clone()
+	for _, v := range dk.Lits() {
+		out.Set(v, cube.Free)
+	}
+	return out, true
+}
+
+// DivideByLiteral divides f by a single literal (var v with phase p),
+// returning the quotient (cubes containing the literal, literal removed)
+// and remainder (the other cubes).
+func DivideByLiteral(f cube.Cover, v int, p cube.Phase) (q, r cube.Cover) {
+	n := f.NumVars()
+	q, r = cube.NewCover(n), cube.NewCover(n)
+	for _, c := range f.Cubes {
+		if c.Get(v) == p {
+			q.Cubes = append(q.Cubes, c.With(v, cube.Free))
+		} else {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	return q, r
+}
+
+// coverKey gives a canonical map key for a cube.
+func coverKey(c cube.Cube) string {
+	// Reuse String: canonical per-cube since literal order is by variable.
+	return c.String()
+}
+
+// CommonCube returns the largest cube dividing every cube of f (its
+// supercube complement ... simply the intersection of literal sets), or the
+// universal cube if none. A cover is cube-free iff CommonCube is universal.
+func CommonCube(f cube.Cover) cube.Cube {
+	if f.IsZero() {
+		return cube.New(f.NumVars())
+	}
+	common := f.Cubes[0].Clone()
+	for _, c := range f.Cubes[1:] {
+		for _, v := range common.Lits() {
+			if c.Get(v) != common.Get(v) {
+				common.Set(v, cube.Free)
+			}
+		}
+	}
+	return common
+}
+
+// MakeCubeFree divides out the common cube, returning the cube-free cover
+// and the common cube that was removed.
+func MakeCubeFree(f cube.Cover) (cube.Cover, cube.Cube) {
+	cc := CommonCube(f)
+	if cc.NumLits() == 0 {
+		return f.Clone(), cc
+	}
+	out := cube.NewCover(f.NumVars())
+	for _, c := range f.Cubes {
+		q, _ := divideCube(c, cc)
+		out.Cubes = append(out.Cubes, q)
+	}
+	return out, cc
+}
+
+// IsCubeFree reports whether no single literal divides every cube.
+func IsCubeFree(f cube.Cover) bool { return CommonCube(f).NumLits() == 0 }
+
+// Kernel is a cube-free quotient of a cover by a cube (its co-kernel).
+type Kernel struct {
+	K        cube.Cover // the kernel (cube-free, ≥ 2 cubes unless level-0 trivial)
+	CoKernel cube.Cube
+}
+
+// Kernels returns all kernels of f (including f itself if cube-free), with
+// co-kernels, capped at max entries (0 = no cap). Duplicate kernels with
+// different co-kernels are all reported.
+func Kernels(f cube.Cover, max int) []Kernel {
+	var out []Kernel
+	ff, cc := MakeCubeFree(f)
+	if ff.NumCubes() >= 2 {
+		out = append(out, Kernel{K: ff, CoKernel: cc})
+	}
+	lits := literalUniverse(ff)
+	seen := make(map[string]bool)
+	kernelRec(ff, cc, 0, lits, &out, seen, max)
+	return out
+}
+
+// literalUniverse lists the distinct (var, phase) literals of f in a fixed
+// order.
+type literal struct {
+	v int
+	p cube.Phase
+}
+
+func literalUniverse(f cube.Cover) []literal {
+	type cnt struct{ pos, neg int }
+	m := make(map[int]*cnt)
+	for _, c := range f.Cubes {
+		for _, v := range c.Lits() {
+			e := m[v]
+			if e == nil {
+				e = &cnt{}
+				m[v] = e
+			}
+			if c.Get(v) == cube.Pos {
+				e.pos++
+			} else {
+				e.neg++
+			}
+		}
+	}
+	vars := make([]int, 0, len(m))
+	for v := range m {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	var out []literal
+	for _, v := range vars {
+		if m[v].neg > 0 {
+			out = append(out, literal{v, cube.Neg})
+		}
+		if m[v].pos > 0 {
+			out = append(out, literal{v, cube.Pos})
+		}
+	}
+	return out
+}
+
+func kernelRec(g cube.Cover, coker cube.Cube, start int, lits []literal, out *[]Kernel, seen map[string]bool, max int) {
+	if max > 0 && len(*out) >= max {
+		return
+	}
+	for i := start; i < len(lits); i++ {
+		l := lits[i]
+		q, _ := DivideByLiteral(g, l.v, l.p)
+		if q.NumCubes() < 2 {
+			continue
+		}
+		qf, cc := MakeCubeFree(q)
+		// Skip if the common cube contains a literal earlier in the order —
+		// that kernel is found on another path (standard pruning).
+		skip := false
+		for j := 0; j < i; j++ {
+			if cc.Get(lits[j].v) == lits[j].p {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		ck := coker.Clone()
+		ck.Set(l.v, l.p)
+		ck = ck.And(cc)
+		key := qf.String()
+		if !seen[key+"|"+ck.String()] {
+			seen[key+"|"+ck.String()] = true
+			*out = append(*out, Kernel{K: qf, CoKernel: ck})
+			if max > 0 && len(*out) >= max {
+				return
+			}
+		}
+		kernelRec(qf, ck, i+1, lits, out, seen, max)
+	}
+}
+
+// Level0Kernel returns one level-0 kernel of f (a kernel with no kernels but
+// itself), following a single cheap path; ok is false when f has no kernel
+// (fewer than two cubes after making cube-free, or no repeated literal).
+func Level0Kernel(f cube.Cover) (cube.Cover, bool) {
+	g, _ := MakeCubeFree(f)
+	if g.NumCubes() < 2 {
+		return cube.Cover{}, false
+	}
+	for {
+		l, ok := repeatedLiteral(g)
+		if !ok {
+			return g, true
+		}
+		q, _ := DivideByLiteral(g, l.v, l.p)
+		q, _ = MakeCubeFree(q)
+		if q.NumCubes() < 2 {
+			// Shouldn't happen for a repeated literal, but guard anyway.
+			return g, true
+		}
+		g = q
+	}
+}
+
+// repeatedLiteral returns a literal appearing in at least two cubes,
+// preferring the most frequent one.
+func repeatedLiteral(f cube.Cover) (literal, bool) {
+	best := literal{}
+	bestN := 1
+	for _, l := range literalUniverse(f) {
+		n := 0
+		for _, c := range f.Cubes {
+			if c.Get(l.v) == l.p {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = l, n
+		}
+	}
+	return best, bestN >= 2
+}

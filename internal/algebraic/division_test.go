@@ -1,0 +1,201 @@
+package algebraic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+)
+
+func tt(f cube.Cover, n int) uint64 {
+	var out uint64
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n)
+		for v := 0; v < n; v++ {
+			assign[v] = m>>v&1 == 1
+		}
+		if f.Eval(assign) {
+			out |= 1 << m
+		}
+	}
+	return out
+}
+
+func TestWeakDivideByCube(t *testing.T) {
+	f := cube.ParseCover(4, "abc + abd + cd")
+	d := cube.ParseCover(4, "ab")
+	q, r := WeakDivide(f, d)
+	if q.String() != "c + d" {
+		t.Errorf("quotient = %v, want c + d", q)
+	}
+	if r.String() != "cd" {
+		t.Errorf("remainder = %v, want cd", r)
+	}
+}
+
+func TestWeakDivideMultiCube(t *testing.T) {
+	// f = (a+b)(c+d) + e = ac+ad+bc+bd+e, d = a+b → q = c+d, r = e
+	f := cube.ParseCover(5, "ac + ad + bc + bd + e")
+	d := cube.ParseCover(5, "a + b")
+	q, r := WeakDivide(f, d)
+	if q.String() != "c + d" {
+		t.Errorf("quotient = %v, want c + d", q)
+	}
+	if r.String() != "e" {
+		t.Errorf("remainder = %v, want e", r)
+	}
+}
+
+func TestWeakDivideNoDivision(t *testing.T) {
+	// Algebraic division of a+bc by a+b yields quotient 0 — the classic
+	// case where Boolean division wins (paper, Section I).
+	f := cube.ParseCover(3, "a + bc")
+	d := cube.ParseCover(3, "a + b")
+	q, r := WeakDivide(f, d)
+	if !q.IsZero() {
+		t.Errorf("quotient = %v, want 0", q)
+	}
+	if r.String() != f.String() {
+		t.Errorf("remainder = %v, want f", r)
+	}
+}
+
+func TestWeakDivideIdentity(t *testing.T) {
+	// f = q·d + r must hold as functions for random cases.
+	r := rand.New(rand.NewSource(21))
+	const n = 5
+	prop := func(seed int64) bool {
+		r.Seed(seed)
+		f := randomCover(r, n, 6)
+		d := randomCover(r, n, 2)
+		if d.IsZero() {
+			return true
+		}
+		q, rem := WeakDivide(f, d)
+		recon := q.And(d).Or(rem)
+		return tt(recon, n) == tt(f, n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivideByLiteral(t *testing.T) {
+	f := cube.ParseCover(3, "ab + ac + b'c")
+	q, r := DivideByLiteral(f, 0, cube.Pos)
+	if q.String() != "b + c" {
+		t.Errorf("f/a = %v", q)
+	}
+	if r.String() != "b'c" {
+		t.Errorf("rem = %v", r)
+	}
+}
+
+func TestCommonCube(t *testing.T) {
+	f := cube.ParseCover(4, "abc + abd")
+	cc := CommonCube(f)
+	if cc.String() != "ab" {
+		t.Errorf("common cube = %v, want ab", cc)
+	}
+	if IsCubeFree(f) {
+		t.Error("abc+abd should not be cube-free")
+	}
+	g, got := MakeCubeFree(f)
+	if got.String() != "ab" || g.String() != "c + d" {
+		t.Errorf("MakeCubeFree = %v, %v", g, got)
+	}
+	if !IsCubeFree(g) {
+		t.Error("result should be cube-free")
+	}
+}
+
+func TestKernelsClassic(t *testing.T) {
+	// f = ace + bce + de + g: kernels include ac+bc+d ... classic example:
+	// kernels of ace+bce+de+g: {ae+be+... }. Use simpler: f = ab + ac + ad:
+	// cube-free: b + c + d (co-kernel a); f itself not cube-free.
+	f := cube.ParseCover(4, "ab + ac + ad")
+	ks := Kernels(f, 0)
+	found := false
+	for _, k := range ks {
+		if k.K.String() == "b + c + d" && k.CoKernel.String() == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kernels = %v, want (b+c+d)/a", ks)
+	}
+}
+
+func TestKernelsXor(t *testing.T) {
+	// f = ac + ad + bc + bd: kernels: (a+b) co-kernels c,d; (c+d) co-kernels a,b;
+	// and f itself (cube-free).
+	f := cube.ParseCover(4, "ac + ad + bc + bd")
+	ks := Kernels(f, 0)
+	want := map[string]bool{"a + b": false, "c + d": false}
+	for _, k := range ks {
+		if _, ok := want[k.K.String()]; ok {
+			want[k.K.String()] = true
+		}
+	}
+	for s, ok := range want {
+		if !ok {
+			t.Errorf("kernel %q not found in %v", s, ks)
+		}
+	}
+}
+
+func TestLevel0Kernel(t *testing.T) {
+	f := cube.ParseCover(4, "ac + ad + bc + bd")
+	k, ok := Level0Kernel(f)
+	if !ok {
+		t.Fatal("no level-0 kernel found")
+	}
+	if s := k.String(); s != "a + b" && s != "c + d" {
+		t.Errorf("level-0 kernel = %v", k)
+	}
+	if _, ok := Level0Kernel(cube.ParseCover(3, "ab")); ok {
+		t.Error("single cube should have no kernel")
+	}
+}
+
+func randomCover(r *rand.Rand, n, maxCubes int) cube.Cover {
+	f := cube.NewCover(n)
+	k := r.Intn(maxCubes) + 1
+	for i := 0; i < k; i++ {
+		c := cube.New(n)
+		for v := 0; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c.Set(v, cube.Pos)
+			case 1:
+				c.Set(v, cube.Neg)
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+func TestPropKernelsDivide(t *testing.T) {
+	// Every kernel algebraically divides f with nonzero quotient.
+	r := rand.New(rand.NewSource(22))
+	const n = 6
+	prop := func(seed int64) bool {
+		r.Seed(seed)
+		f := randomCover(r, n, 6).SCC()
+		for _, k := range Kernels(f, 20) {
+			if k.K.NumCubes() < 2 {
+				continue
+			}
+			q, _ := WeakDivide(f, k.K)
+			if q.IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package algebraic_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebraic"
+	"repro/internal/cube"
+)
+
+// ExampleWeakDivide shows classic algebraic division.
+func ExampleWeakDivide() {
+	f := cube.ParseCover(5, "ac + ad + bc + bd + e")
+	d := cube.ParseCover(5, "a + b")
+	q, r := algebraic.WeakDivide(f, d)
+	fmt.Println("quotient: ", q)
+	fmt.Println("remainder:", r)
+	// Output:
+	// quotient:  c + d
+	// remainder: e
+}
+
+// ExampleKernels lists the kernels of a cover.
+func ExampleKernels() {
+	f := cube.ParseCover(4, "ac + ad + bc + bd")
+	for _, k := range algebraic.Kernels(f, 0) {
+		if k.K.NumCubes() == 2 {
+			fmt.Printf("%v / %v\n", k.K, k.CoKernel)
+		}
+	}
+	// Output:
+	// c + d / a
+	// c + d / b
+	// a + b / c
+	// a + b / d
+}
+
+// ExampleFactor shows factored-form extraction — the paper's cost metric.
+func ExampleFactor() {
+	f := cube.ParseCover(4, "ac + ad + bc + bd")
+	e := algebraic.Factor(f)
+	fmt.Printf("%s = %d literals (SOP had %d)\n", e, e.Lits(), f.NumLits())
+	// Output:
+	// (a + b)(c + d) = 4 literals (SOP had 8)
+}

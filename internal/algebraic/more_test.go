@@ -1,0 +1,116 @@
+package algebraic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func TestDivideByLiteralNegPhase(t *testing.T) {
+	f := cube.ParseCover(3, "a'b + a'c + ab")
+	q, r := DivideByLiteral(f, 0, cube.Neg)
+	if q.String() != "b + c" {
+		t.Errorf("f/a' = %v", q)
+	}
+	if r.String() != "ab" {
+		t.Errorf("rem = %v", r)
+	}
+}
+
+func TestKernelsCapRespected(t *testing.T) {
+	// A cover with many kernels; the cap must bound the output.
+	f := cube.ParseCover(8, "ab + ac + ad + bc + bd + cd + ef + eg + fg + eh")
+	ks := Kernels(f, 3)
+	if len(ks) > 3 {
+		t.Errorf("cap ignored: %d kernels", len(ks))
+	}
+	all := Kernels(f, 0)
+	if len(all) <= 3 {
+		t.Errorf("expected more kernels uncapped, got %d", len(all))
+	}
+}
+
+func TestWeakDivideSelfIsOne(t *testing.T) {
+	f := cube.ParseCover(3, "ab + c")
+	q, r := WeakDivide(f, f)
+	// f/f = 1 with empty remainder.
+	if q.NumCubes() != 1 || !q.Cubes[0].IsUniverse() {
+		t.Errorf("f/f = %v", q)
+	}
+	if !r.IsZero() {
+		t.Errorf("rem = %v", r)
+	}
+}
+
+func TestWeakDivideByZeroCover(t *testing.T) {
+	f := cube.ParseCover(2, "ab")
+	q, r := WeakDivide(f, cube.NewCover(2))
+	if !q.IsZero() {
+		t.Error("division by zero cover should give zero quotient")
+	}
+	if r.String() != f.String() {
+		t.Error("remainder should be f")
+	}
+}
+
+func TestExprRenderLargeSpace(t *testing.T) {
+	f := cube.NewCover(30)
+	c := cube.New(30)
+	c.Set(27, cube.Pos)
+	c.Set(28, cube.Neg)
+	f.Add(c)
+	e := Factor(f)
+	s := e.Render(30)
+	if !strings.Contains(s, "x27") || !strings.Contains(s, "x28'") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestFactorConstEval(t *testing.T) {
+	one := &Expr{Kind: KConst, Val: true}
+	zero := &Expr{Kind: KConst, Val: false}
+	if !one.Eval(nil) || zero.Eval(nil) {
+		t.Error("constant eval wrong")
+	}
+	if one.String() != "1" || zero.String() != "0" {
+		t.Error("constant render wrong")
+	}
+}
+
+func TestCommonCubeUniverse(t *testing.T) {
+	g := cube.ParseCover(4, "ab + cd'")
+	if CommonCube(g).NumLits() != 0 {
+		t.Error("disjoint cubes share no common cube")
+	}
+	if !IsCubeFree(g) {
+		t.Error("should be cube-free")
+	}
+	z := cube.NewCover(3)
+	if !CommonCube(z).IsUniverse() {
+		t.Error("common cube of empty cover is universal")
+	}
+}
+
+func TestLevel0KernelOfKernelIsSelf(t *testing.T) {
+	// A level-0 kernel has no kernels except itself.
+	f := cube.ParseCover(4, "ac + ad + bc + bd")
+	k, ok := Level0Kernel(f)
+	if !ok {
+		t.Fatal("no kernel")
+	}
+	k2, ok2 := Level0Kernel(k)
+	if !ok2 {
+		t.Fatal("level-0 kernel should be its own kernel")
+	}
+	if k2.String() != k.String() {
+		t.Errorf("level-0 kernel not a fixed point: %v vs %v", k, k2)
+	}
+}
+
+func TestFactorLitsMonotoneUnderSCC(t *testing.T) {
+	f := cube.ParseCover(4, "ab + abc + abd + ab")
+	if FactorLits(f.SCC()) > FactorLits(f) {
+		t.Error("SCC should not hurt factoring")
+	}
+}

@@ -1,0 +1,111 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// Wire identifies a fanin pin of a gate — the fault site granularity of the
+// paper (faults live on wires/branches, not stems).
+type Wire struct {
+	Gate int
+	Pin  int
+}
+
+// Fault is a stuck-at fault on a wire.
+type Fault struct {
+	Wire  Wire
+	Stuck Value // the stuck value: testing requires the good value ¬Stuck
+}
+
+// MandatoryAssignments computes the assignments every test for f must
+// satisfy:
+//
+//   - activation: the wire's driving gate carries the good value ¬Stuck;
+//   - propagation: along the dominator chain from the faulted gate toward
+//     the outputs, every side input outside the fault's transitive fanout
+//     must be at the gate's non-controlling value. The walk stops at the
+//     first multi-fanout stem (no unique path beyond), or after stopAfter
+//     dominators when stopAfter ≥ 0 — the paper's region-local mode treats
+//     the dividend node's output as directly observable.
+//
+// The assignments are asserted into e (which the caller typically Reset
+// first); the return value is false if asserting them already conflicts.
+func MandatoryAssignments(e *Engine, nl *netlist.Netlist, f Fault, stopAfter int) bool {
+	src := nl.Fanins(f.Wire.Gate)[f.Wire.Pin]
+	if !e.Assign(src, 1-f.Stuck) {
+		return false
+	}
+	tfo := nl.TFO(f.Wire.Gate)
+	// Side inputs of the faulted gate itself.
+	if !assignSides(e, nl, f.Wire.Gate, src, tfo) {
+		return false
+	}
+	prev := f.Wire.Gate
+	for i, d := range nl.Dominators(f.Wire.Gate) {
+		if stopAfter >= 0 && i >= stopAfter {
+			break
+		}
+		if !assignSides(e, nl, d, prev, tfo) {
+			return false
+		}
+		prev = d
+	}
+	return true
+}
+
+// assignSides puts non-controlling values on g's inputs other than `through`,
+// skipping inputs inside the fault's TFO (their good value may differ from
+// their faulty value, so no good-circuit requirement is sound for them).
+func assignSides(e *Engine, nl *netlist.Netlist, g, through int, tfo map[int]bool) bool {
+	var nonctrl Value
+	switch nl.KindOf(g) {
+	case netlist.And:
+		nonctrl = One
+	case netlist.Or:
+		nonctrl = Zero
+	default:
+		return true // NOT/Input: no side inputs
+	}
+	for _, f := range nl.Fanins(g) {
+		if f == through || tfo[f] {
+			continue
+		}
+		if !e.Assign(f, nonctrl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Untestable proves (soundly, incompletely) that fault f is untestable: it
+// asserts the mandatory assignments and runs implications; a conflict is a
+// proof of untestability. stopAfter limits the dominator walk as in
+// MandatoryAssignments. A true result licenses replacing the wire with its
+// stuck value.
+func Untestable(e *Engine, nl *netlist.Netlist, f Fault, stopAfter int) bool {
+	e.Reset()
+	if !MandatoryAssignments(e, nl, f, stopAfter) {
+		return true
+	}
+	return !e.Propagate()
+}
+
+// RemoveIfUntestable tests the stuck-at-v fault on wire w and, when proved
+// untestable, performs the removal:
+//
+//   - stuck-at-1 on an AND pin or stuck-at-0 on an OR pin: the pin is
+//     deleted (the wire is replaced by the non-controlling value);
+//   - stuck-at-0 on an AND pin / stuck-at-1 on an OR pin would constant-fix
+//     the whole gate; the caller handles that case, so it is not offered
+//     here.
+//
+// Returns whether the wire was removed.
+func RemoveIfUntestable(e *Engine, nl *netlist.Netlist, w Wire, stuck Value, stopAfter int) bool {
+	kind := nl.KindOf(w.Gate)
+	if !(kind == netlist.And && stuck == One || kind == netlist.Or && stuck == Zero) {
+		panic("atpg: RemoveIfUntestable only deletes non-controlling-stuck pins")
+	}
+	if !Untestable(e, nl, Fault{Wire: w, Stuck: stuck}, stopAfter) {
+		return false
+	}
+	nl.RemovePin(w.Gate, w.Pin)
+	return true
+}

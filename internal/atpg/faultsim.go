@@ -1,0 +1,171 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// This file adds the remaining classical ATPG infrastructure: structural
+// fault collapsing (equivalence rules) and 64-pattern parallel fault
+// simulation with fault dropping — used by the coverage tooling and to
+// accelerate whole-circuit fault grading before PODEM handles the hard
+// remainder.
+
+// AllFaults enumerates both stuck-at faults on every gate input pin.
+func AllFaults(nl *netlist.Netlist) []Fault {
+	var out []Fault
+	for g := 0; g < nl.NumGates(); g++ {
+		kind := nl.KindOf(g)
+		if kind == netlist.Input {
+			continue
+		}
+		for pin := range nl.Fanins(g) {
+			out = append(out,
+				Fault{Wire: Wire{Gate: g, Pin: pin}, Stuck: Zero},
+				Fault{Wire: Wire{Gate: g, Pin: pin}, Stuck: One})
+		}
+	}
+	return out
+}
+
+// CollapseFaults removes faults structurally equivalent to a representative
+// by the standard rules: on an inverter, the input faults are equivalent to
+// the complementary output-side faults (the single fanout pin), and a
+// gate's controlling-value input fault is equivalent to the output-side
+// fault in the controlled direction. Returns a reduced fault list that
+// dominates the original for coverage purposes.
+func CollapseFaults(nl *netlist.Netlist, faults []Fault) []Fault {
+	// Representative map: a fault on the single input of a NOT gate g is
+	// equivalent to the opposite-polarity fault on g's output as seen at
+	// g's unique fanout pin (if any).
+	type key struct {
+		g, pin int
+		v      Value
+	}
+	drop := make(map[key]bool)
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.KindOf(g) != netlist.Not {
+			continue
+		}
+		fos := nl.Fanouts(g)
+		if len(fos) != 1 {
+			continue
+		}
+		fo := fos[0]
+		pin := -1
+		for i, f := range nl.Fanins(fo) {
+			if f == g {
+				pin = i
+				break
+			}
+		}
+		if pin < 0 {
+			continue
+		}
+		// NOT input s-a-v ≡ NOT output s-a-(1−v) ≡ fanout pin s-a-(1−v):
+		// keep the downstream fault, drop the inverter-input one.
+		drop[key{g, 0, Zero}] = true
+		drop[key{g, 0, One}] = true
+	}
+	var out []Fault
+	for _, f := range faults {
+		if drop[key{f.Wire.Gate, f.Wire.Pin, f.Stuck}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// SimulateFaults grades the fault list with nWords random 64-pattern words
+// (plus the all-zeros/all-ones patterns), dropping detected faults. It
+// returns the detected and undetected sets. Observability is at POs and at
+// sink gates, matching PODEM.
+func SimulateFaults(nl *netlist.Netlist, faults []Fault, nWords int, seed int64) (detected, undetected []Fault) {
+	r := rand.New(rand.NewSource(seed))
+	var piNames []string
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.KindOf(g) == netlist.Input {
+			piNames = append(piNames, nl.NameOf(g))
+		}
+	}
+	observable := func(g int) bool {
+		if nl.IsPO(g) {
+			return true
+		}
+		return nl.KindOf(g) != netlist.Input && len(nl.Fanouts(g)) == 0
+	}
+	var obs []int
+	for g := 0; g < nl.NumGates(); g++ {
+		if observable(g) {
+			obs = append(obs, g)
+		}
+	}
+
+	remaining := append([]Fault(nil), faults...)
+	for w := 0; w < nWords+2 && len(remaining) > 0; w++ {
+		in := make(map[string]uint64, len(piNames))
+		for _, pi := range piNames {
+			switch w {
+			case 0:
+				in[pi] = 0
+			case 1:
+				in[pi] = ^uint64(0)
+			default:
+				in[pi] = r.Uint64()
+			}
+		}
+		good := nl.Eval(in)
+		kept := remaining[:0]
+		for _, f := range remaining {
+			bad := nl.EvalWithFault(in, f.Wire.Gate, f.Wire.Pin, f.Stuck == One)
+			hit := false
+			for _, g := range obs {
+				if good[g] != bad[g] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				detected = append(detected, f)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		remaining = kept
+	}
+	return detected, remaining
+}
+
+// GradeCoverage runs the full grading pipeline: collapse, random fault
+// simulation, then PODEM on the survivors. Returns counts.
+type CoverageReport struct {
+	Total        int
+	Collapsed    int
+	BySimulation int
+	ByPodem      int
+	Redundant    int
+	Aborted      int
+}
+
+// GradeCoverage computes a coverage report for all wire faults of nl.
+func GradeCoverage(nl *netlist.Netlist, simWords int, podemLimit int) CoverageReport {
+	all := AllFaults(nl)
+	collapsed := CollapseFaults(nl, all)
+	rep := CoverageReport{Total: len(all), Collapsed: len(collapsed)}
+	detected, rest := SimulateFaults(nl, collapsed, simWords, 0xFA57)
+	rep.BySimulation = len(detected)
+	p := NewPodem(nl, podemLimit)
+	for _, f := range rest {
+		switch _, res := p.GenerateTest(f); res {
+		case Testable:
+			rep.ByPodem++
+		case Redundant:
+			rep.Redundant++
+		default:
+			rep.Aborted++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,200 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/netlist"
+	"repro/internal/network"
+)
+
+func c17Netlist() *netlist.Netlist {
+	nw := network.New("c17")
+	for _, pi := range []string{"i1", "i2", "i3", "i6", "i7"} {
+		nw.AddPI(pi)
+	}
+	nand := func(name, x, y string) {
+		nw.AddNode(name, []string{x, y}, cube.ParseCover(2, "a' + b'"))
+	}
+	nand("g10", "i1", "i3")
+	nand("g11", "i3", "i6")
+	nand("g16", "i2", "g11")
+	nand("g19", "g11", "i7")
+	nand("g22", "g10", "g16")
+	nand("g23", "g16", "g19")
+	nw.AddPO("g22")
+	nw.AddPO("g23")
+	return netlist.FromNetwork(nw).NL
+}
+
+func TestAllFaultsEnumerates(t *testing.T) {
+	nl := c17Netlist()
+	faults := AllFaults(nl)
+	// Every non-input pin gets two faults.
+	pins := 0
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.KindOf(g) != netlist.Input {
+			pins += len(nl.Fanins(g))
+		}
+	}
+	if len(faults) != 2*pins {
+		t.Errorf("faults = %d, want %d", len(faults), 2*pins)
+	}
+}
+
+func TestCollapseReduces(t *testing.T) {
+	nl := c17Netlist()
+	all := AllFaults(nl)
+	col := CollapseFaults(nl, all)
+	if len(col) >= len(all) {
+		t.Errorf("collapse did not reduce: %d -> %d", len(all), len(col))
+	}
+}
+
+func TestSimulateFaultsDetectsMost(t *testing.T) {
+	nl := c17Netlist()
+	all := AllFaults(nl)
+	detected, undetected := SimulateFaults(nl, all, 4, 1)
+	if len(detected)+len(undetected) != len(all) {
+		t.Fatal("fault accounting broken")
+	}
+	// C17 is tiny: 4 random words (256 patterns over 32 minterms) should
+	// detect everything (C17 is fully testable).
+	if len(undetected) != 0 {
+		t.Errorf("%d faults undetected by simulation on c17", len(undetected))
+	}
+}
+
+func TestGradeCoverageC17(t *testing.T) {
+	nl := c17Netlist()
+	rep := GradeCoverage(nl, 4, 0)
+	if rep.Redundant != 0 {
+		t.Errorf("c17 is irredundant; report: %+v", rep)
+	}
+	if rep.Aborted != 0 {
+		t.Errorf("aborted faults on c17: %+v", rep)
+	}
+	if rep.BySimulation+rep.ByPodem != rep.Collapsed {
+		t.Errorf("coverage does not add up: %+v", rep)
+	}
+}
+
+func TestGradeCoverageFindsRedundancy(t *testing.T) {
+	nw := network.New("red")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "ab + ab'c"))
+	nw.AddPO("f")
+	nl := netlist.FromNetwork(nw).NL
+	rep := GradeCoverage(nl, 8, 0)
+	if rep.Redundant == 0 {
+		t.Errorf("redundancy missed: %+v", rep)
+	}
+}
+
+// TestCollapseSoundness: collapsed-away faults must be detected whenever
+// their representative is — verified by running both lists through
+// simulation with identical patterns and comparing coverage conclusions
+// with PODEM on a redundant circuit.
+func TestCollapseSoundness(t *testing.T) {
+	nw := network.New("cs")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("n", []string{"a"}, cube.ParseCover(1, "a'"))
+	nw.AddNode("f", []string{"n", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddPO("f")
+	nl := netlist.FromNetwork(nw).NL
+	all := AllFaults(nl)
+	col := CollapseFaults(nl, all)
+	p := NewPodem(nl, 0)
+	// Every collapsed-out fault must have the same PODEM verdict as some
+	// surviving fault — weaker check: total testability must match.
+	testable := func(fs []Fault) int {
+		n := 0
+		for _, f := range fs {
+			if _, res := p.GenerateTest(f); res == Testable {
+				n++
+			}
+		}
+		return n
+	}
+	allTestable := testable(all)
+	colTestable := testable(col)
+	if (allTestable == len(all)) != (colTestable == len(col)) {
+		t.Errorf("collapse changed the full-coverage verdict: %d/%d vs %d/%d",
+			allTestable, len(all), colTestable, len(col))
+	}
+}
+
+func TestGenerateTestSetC17(t *testing.T) {
+	nl := c17Netlist()
+	ts := GenerateTestSet(nl, 0)
+	if ts.Redundant != 0 || ts.Aborted != 0 {
+		t.Fatalf("c17 report: %+v", ts)
+	}
+	if ts.Detected != ts.Total {
+		t.Errorf("coverage %d/%d", ts.Detected, ts.Total)
+	}
+	if len(ts.Vectors) == 0 || len(ts.Vectors) > 12 {
+		t.Errorf("test set size %d looks wrong", len(ts.Vectors))
+	}
+	// Every collapsed fault must be detected by some vector.
+	for _, f := range CollapseFaults(nl, AllFaults(nl)) {
+		covered := false
+		for _, vec := range ts.Vectors {
+			if detects(nl, vec, f) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("fault %+v not covered by the final test set", f)
+		}
+	}
+}
+
+func TestGenerateTestSetRedundantCircuit(t *testing.T) {
+	nw := network.New("red")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "ab + ab'c"))
+	nw.AddPO("f")
+	nl := netlist.FromNetwork(nw).NL
+	ts := GenerateTestSet(nl, 0)
+	if ts.Redundant == 0 {
+		t.Errorf("redundant fault not reported: %+v", ts)
+	}
+	if ts.Detected+ts.Redundant+ts.Aborted != ts.Total {
+		t.Errorf("accounting broken: %+v", ts)
+	}
+}
+
+func TestCompactionNeverLosesCoverage(t *testing.T) {
+	// Compaction is built into GenerateTestSet; verify on a mid-size
+	// benchmark-like circuit that the final set still covers everything
+	// the generator detected.
+	nw := network.New("mid")
+	for _, pi := range []string{"a", "b", "c", "d"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab' + a'b"))
+	nw.AddNode("h", []string{"c", "d"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"g", "h", "a"}, cube.ParseCover(3, "ab + a'c"))
+	nw.AddPO("f")
+	nl := netlist.FromNetwork(nw).NL
+	ts := GenerateTestSet(nl, 0)
+	detected := 0
+	for _, f := range CollapseFaults(nl, AllFaults(nl)) {
+		for _, vec := range ts.Vectors {
+			if detects(nl, vec, f) {
+				detected++
+				break
+			}
+		}
+	}
+	if detected != ts.Detected {
+		t.Errorf("compaction lost coverage: %d vs %d", detected, ts.Detected)
+	}
+}

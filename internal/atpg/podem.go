@@ -1,0 +1,335 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// This file implements PODEM (path-oriented decision making) test
+// generation for single stuck-at faults. It complements the implication
+// engine: Untestable gives fast sound-but-incomplete untestability proofs
+// for redundancy removal, while GenerateTest is a complete decision
+// procedure (up to the backtrack limit) used to validate those proofs, to
+// grade fault coverage, and as the classical ATPG substrate the paper's
+// technique is built from.
+
+// TestResult reports the outcome of test generation for one fault.
+type TestResult int
+
+const (
+	// Testable means a test vector was found.
+	Testable TestResult = iota
+	// Redundant means the search space was exhausted without a test: the
+	// fault is untestable and the wire may be replaced by its stuck value.
+	Redundant
+	// Aborted means the backtrack limit was hit before a decision.
+	Aborted
+)
+
+// String names the result.
+func (r TestResult) String() string {
+	switch r {
+	case Testable:
+		return "testable"
+	case Redundant:
+		return "redundant"
+	default:
+		return "aborted"
+	}
+}
+
+// DefaultBacktrackLimit bounds the PODEM search.
+const DefaultBacktrackLimit = 10000
+
+// Podem is a PODEM test generator over a netlist. The netlist must not be
+// mutated while the generator is in use.
+type Podem struct {
+	nl    *netlist.Netlist
+	good  []Value
+	bad   []Value
+	limit int
+	// pis lists the input gates in a fixed order.
+	pis []int
+}
+
+// NewPodem builds a generator; limit ≤ 0 selects DefaultBacktrackLimit.
+func NewPodem(nl *netlist.Netlist, limit int) *Podem {
+	if limit <= 0 {
+		limit = DefaultBacktrackLimit
+	}
+	p := &Podem{nl: nl, limit: limit}
+	p.good = make([]Value, nl.NumGates())
+	p.bad = make([]Value, nl.NumGates())
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.KindOf(g) == netlist.Input {
+			p.pis = append(p.pis, g)
+		}
+	}
+	return p
+}
+
+// GenerateTest searches for a test for fault f. On Testable the returned
+// map assigns each PI name a value (unassigned PIs are don't-care and
+// reported as false).
+func (p *Podem) GenerateTest(f Fault) (map[string]bool, TestResult) {
+	for i := range p.good {
+		p.good[i] = Unknown
+		p.bad[i] = Unknown
+	}
+	backtracks := 0
+	type decision struct {
+		pi      int
+		val     Value
+		flipped bool
+	}
+	var stack []decision
+
+	simulate := func() { p.simulate(f) }
+
+	for {
+		simulate()
+		if p.detected(f) {
+			out := make(map[string]bool, len(p.pis))
+			for _, pi := range p.pis {
+				out[p.nl.NameOf(pi)] = p.good[pi] == One
+			}
+			return out, Testable
+		}
+		objGate, objVal, feasible := p.objective(f)
+		var pi int
+		var piVal Value
+		if feasible {
+			pi, piVal, feasible = p.backtrace(objGate, objVal)
+		}
+		if feasible {
+			stack = append(stack, decision{pi: pi, val: piVal})
+			p.good[pi] = piVal
+			continue
+		}
+		// Dead end: backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, Redundant
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				backtracks++
+				if backtracks > p.limit {
+					return nil, Aborted
+				}
+				d.flipped = true
+				d.val = 1 - d.val
+				p.good[d.pi] = d.val
+				break
+			}
+			p.good[d.pi] = Unknown
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// simulate recomputes good and faulty 3-valued values from the current PI
+// assignments (good[pi]); internal gates are derived.
+func (p *Podem) simulate(f Fault) {
+	nl := p.nl
+	n := nl.NumGates()
+	done := make([]bool, n)
+	var evalG, evalB func(g int) Value
+	evalG = func(g int) Value {
+		if nl.KindOf(g) == netlist.Input {
+			return p.good[g]
+		}
+		if done[g] {
+			return p.good[g]
+		}
+		// compute both to share traversal
+		p.compute(g, f, evalG, evalB, done)
+		return p.good[g]
+	}
+	evalB = func(g int) Value {
+		if nl.KindOf(g) == netlist.Input {
+			return p.good[g] // PIs are fault-free
+		}
+		if done[g] {
+			return p.bad[g]
+		}
+		p.compute(g, f, evalG, evalB, done)
+		return p.bad[g]
+	}
+	for g := 0; g < n; g++ {
+		if nl.KindOf(g) != netlist.Input {
+			evalG(g)
+			evalB(g)
+		} else {
+			p.bad[g] = p.good[g]
+		}
+	}
+}
+
+// compute fills good[g] and bad[g].
+func (p *Podem) compute(g int, f Fault, evalG, evalB func(int) Value, done []bool) {
+	nl := p.nl
+	done[g] = true
+	kind := nl.KindOf(g)
+	fan := nl.Fanins(g)
+	pinG := func(i int) Value { return evalG(fan[i]) }
+	pinB := func(i int) Value {
+		if g == f.Wire.Gate && i == f.Wire.Pin {
+			return f.Stuck
+		}
+		return evalB(fan[i])
+	}
+	p.good[g] = gateEval(kind, len(fan), pinG)
+	p.bad[g] = gateEval(kind, len(fan), pinB)
+}
+
+// gateEval computes a gate's 3-valued output from a pin accessor.
+func gateEval(kind netlist.Kind, n int, pin func(int) Value) Value {
+	switch kind {
+	case netlist.Not:
+		v := pin(0)
+		if v == Unknown {
+			return Unknown
+		}
+		return 1 - v
+	case netlist.And:
+		out := One
+		for i := 0; i < n; i++ {
+			switch pin(i) {
+			case Zero:
+				return Zero
+			case Unknown:
+				out = Unknown
+			}
+		}
+		return out
+	case netlist.Or:
+		out := Zero
+		for i := 0; i < n; i++ {
+			switch pin(i) {
+			case One:
+				return One
+			case Unknown:
+				out = Unknown
+			}
+		}
+		return out
+	default:
+		return Unknown
+	}
+}
+
+// detected reports whether the fault effect has reached an observable gate
+// (a marked PO or a gate with no fanouts, which is a sink output).
+func (p *Podem) detected(f Fault) bool {
+	for g := 0; g < p.nl.NumGates(); g++ {
+		if !p.observable(g) {
+			continue
+		}
+		if p.good[g] != Unknown && p.bad[g] != Unknown && p.good[g] != p.bad[g] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Podem) observable(g int) bool {
+	if p.nl.IsPO(g) {
+		return true
+	}
+	return p.nl.KindOf(g) != netlist.Input && len(p.nl.Fanouts(g)) == 0
+}
+
+// objective picks the next value objective: activate the fault, then
+// advance the D-frontier. feasible=false signals a dead end (no activation
+// possible or empty D-frontier with the fault activated).
+func (p *Podem) objective(f Fault) (gate int, val Value, feasible bool) {
+	nl := p.nl
+	src := nl.Fanins(f.Wire.Gate)[f.Wire.Pin]
+	want := Value(1 - f.Stuck)
+	if p.good[src] == Unknown {
+		return src, want, true
+	}
+	if p.good[src] != want {
+		return 0, 0, false // activation impossible under current decisions
+	}
+	// D-frontier: gates whose faulty value differs... classic definition:
+	// gate output Unknown in one circuit with a fault effect on an input.
+	for g := 0; g < nl.NumGates(); g++ {
+		kind := nl.KindOf(g)
+		if kind == netlist.Input {
+			continue
+		}
+		if !(p.good[g] == Unknown || p.bad[g] == Unknown || p.good[g] != p.bad[g]) {
+			continue
+		}
+		if p.good[g] != Unknown && p.bad[g] != Unknown {
+			continue // already carries the effect; frontier is further on
+		}
+		// Does an input carry the fault effect?
+		hasD := false
+		for i, fi := range nl.Fanins(g) {
+			gv, bv := p.good[fi], p.bad[fi]
+			if g == f.Wire.Gate && i == f.Wire.Pin {
+				bv = f.Stuck
+			}
+			if gv != Unknown && bv != Unknown && gv != bv {
+				hasD = true
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Objective: set an unknown side input to the non-controlling value.
+		var nonctrl Value
+		switch kind {
+		case netlist.And:
+			nonctrl = One
+		case netlist.Or:
+			nonctrl = Zero
+		default: // NOT propagates unconditionally; simulate will advance it
+			continue
+		}
+		for i, fi := range nl.Fanins(g) {
+			if g == f.Wire.Gate && i == f.Wire.Pin {
+				continue
+			}
+			if p.good[fi] == Unknown {
+				return fi, nonctrl, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// backtrace maps a gate objective to a primary-input assignment along a
+// path of unknown-valued gates, inverting through NOT gates.
+func (p *Podem) backtrace(gate int, val Value) (pi int, v Value, ok bool) {
+	nl := p.nl
+	for steps := 0; steps < nl.NumGates()+1; steps++ {
+		if nl.KindOf(gate) == netlist.Input {
+			if p.good[gate] != Unknown {
+				return 0, 0, false
+			}
+			return gate, val, true
+		}
+		switch nl.KindOf(gate) {
+		case netlist.Not:
+			gate = nl.Fanins(gate)[0]
+			val = 1 - val
+		case netlist.And, netlist.Or:
+			next := -1
+			for _, fi := range nl.Fanins(gate) {
+				if p.good[fi] == Unknown {
+					next = fi
+					break
+				}
+			}
+			if next < 0 {
+				return 0, 0, false
+			}
+			// Empty gates (constants) have no inputs and were caught above.
+			gate = next
+		default:
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}

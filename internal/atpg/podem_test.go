@@ -1,0 +1,303 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/netlist"
+	"repro/internal/network"
+)
+
+// allWireFaults enumerates both stuck-at faults on every AND/OR pin.
+func allWireFaults(nl *netlist.Netlist) []Fault {
+	var out []Fault
+	for g := 0; g < nl.NumGates(); g++ {
+		kind := nl.KindOf(g)
+		if kind != netlist.And && kind != netlist.Or && kind != netlist.Not {
+			continue
+		}
+		for pin := range nl.Fanins(g) {
+			out = append(out,
+				Fault{Wire: Wire{Gate: g, Pin: pin}, Stuck: Zero},
+				Fault{Wire: Wire{Gate: g, Pin: pin}, Stuck: One})
+		}
+	}
+	return out
+}
+
+// exhaustivelyTestable checks by full enumeration whether any input vector
+// distinguishes the faulty circuit at an observable gate (PO or sink).
+func exhaustivelyTestable(nl *netlist.Netlist, pis []string, f Fault) bool {
+	n := len(pis)
+	if n > 16 {
+		panic("too many inputs for exhaustive check")
+	}
+	observable := func(g int) bool {
+		if nl.IsPO(g) {
+			return true
+		}
+		return nl.KindOf(g) != netlist.Input && len(nl.Fanouts(g)) == 0
+	}
+	for base := 0; base < 1<<n; base += 64 {
+		in := map[string]uint64{}
+		for i, pi := range pis {
+			var w uint64
+			for k := 0; k < 64; k++ {
+				m := base + k
+				if m>>i&1 == 1 {
+					w |= 1 << k
+				}
+			}
+			in[pi] = w
+		}
+		good := nl.Eval(in)
+		bad := nl.EvalWithFault(in, f.Wire.Gate, f.Wire.Pin, f.Stuck == One)
+		valid := ^uint64(0)
+		if 1<<n-base < 64 {
+			valid = 1<<(1<<n-base) - 1
+		}
+		for g := 0; g < nl.NumGates(); g++ {
+			if observable(g) && (good[g]^bad[g])&valid != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func buildForATPG(nw *network.Network) (*netlist.Netlist, []string) {
+	b := netlist.FromNetwork(nw)
+	return b.NL, nw.PIs()
+}
+
+func TestPodemFindsKnownTest(t *testing.T) {
+	// f = ab + a'c: wire a (pin 0 of first AND) s-a-0 is testable with
+	// a=1, b=1 (f flips 1 -> c).
+	nw := network.New("p")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "ab + a'c"))
+	nw.AddPO("f")
+	nl, _ := buildForATPG(nw)
+	b := netlist.FromNetwork(nw) // for structure lookup
+	_ = b
+	p := NewPodem(nl, 0)
+	faults := allWireFaults(nl)
+	found := 0
+	for _, f := range faults {
+		vec, res := p.GenerateTest(f)
+		if res == Testable {
+			found++
+			// The vector must actually detect the fault.
+			in := map[string]uint64{}
+			for pi, v := range vec {
+				if v {
+					in[pi] = 1
+				}
+			}
+			good := nl.Eval(in)
+			bad := nl.EvalWithFault(in, f.Wire.Gate, f.Wire.Pin, f.Stuck == One)
+			diff := false
+			for _, po := range nl.POs {
+				if good[po]&1 != bad[po]&1 {
+					diff = true
+				}
+			}
+			if !diff {
+				t.Errorf("fault %+v: generated vector %v does not detect", f, vec)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no testable faults found at all")
+	}
+}
+
+func TestPodemMatchesExhaustive(t *testing.T) {
+	// On an irredundant and a redundant circuit, PODEM's verdict must match
+	// exhaustive fault simulation for every wire fault.
+	mk := func(expr string) *network.Network {
+		nw := network.New("m")
+		for _, pi := range []string{"a", "b", "c"} {
+			nw.AddPI(pi)
+		}
+		nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, expr))
+		nw.AddPO("f")
+		return nw
+	}
+	for _, expr := range []string{"ab + a'c", "ab + ab'c", "ab + a'c + bc", "ab' + a'b"} {
+		nl, pis := buildForATPG(mk(expr))
+		p := NewPodem(nl, 0)
+		for _, f := range allWireFaults(nl) {
+			_, res := p.GenerateTest(f)
+			if res == Aborted {
+				t.Errorf("%s: fault %+v aborted", expr, f)
+				continue
+			}
+			want := exhaustivelyTestable(nl, pis, f)
+			got := res == Testable
+			if got != want {
+				t.Errorf("%s: fault %+v: podem=%v exhaustive=%v", expr, f, res, want)
+			}
+		}
+	}
+}
+
+func TestPodemAgreesWithImplicationEngine(t *testing.T) {
+	// Untestable (implications) is sound: whenever it claims untestable,
+	// PODEM must find the fault redundant too. Fuzz over random networks.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nw := randomPodemDAG(r)
+		bl := netlist.FromNetwork(nw)
+		nl := bl.NL
+		e := NewEngine(nl, Options{Learn: true})
+		p := NewPodem(nl, 0)
+		for _, f := range allWireFaults(nl) {
+			kind := nl.KindOf(f.Wire.Gate)
+			removable := kind == netlist.And && f.Stuck == One || kind == netlist.Or && f.Stuck == Zero
+			if !removable {
+				continue
+			}
+			if !Untestable(e, nl, f, -1) {
+				continue
+			}
+			if _, res := p.GenerateTest(f); res == Testable {
+				t.Fatalf("trial %d: implications claim untestable but PODEM found a test for %+v\n%s",
+					trial, f, nw.String())
+			}
+		}
+	}
+}
+
+func TestPodemRedundantOnKnownRedundancy(t *testing.T) {
+	// f = ab + ab' : the b-wire faults are classic redundancies.
+	nw := network.New("r")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("f", []string{"a", "b"}, cube.ParseCover(2, "ab + ab'"))
+	nw.AddPO("f")
+	nl, pis := buildForATPG(nw)
+	p := NewPodem(nl, 0)
+	redundant := 0
+	for _, f := range allWireFaults(nl) {
+		_, res := p.GenerateTest(f)
+		want := exhaustivelyTestable(nl, pis, f)
+		if (res == Testable) != want {
+			t.Errorf("fault %+v: podem=%v exhaustive=%v", f, res, want)
+		}
+		if res == Redundant {
+			redundant++
+		}
+	}
+	if redundant == 0 {
+		t.Error("no redundancies found in a redundant circuit")
+	}
+}
+
+// randomPodemDAG builds small random networks (≤ 8 PIs for exhaustive
+// cross-checks).
+func randomPodemDAG(r *rand.Rand) *network.Network {
+	nw := network.New("rp")
+	var signals []string
+	nPI := 3 + r.Intn(3)
+	for i := 0; i < nPI; i++ {
+		name := string(rune('a' + i))
+		nw.AddPI(name)
+		signals = append(signals, name)
+	}
+	nNode := 3 + r.Intn(4)
+	for i := 0; i < nNode; i++ {
+		k := 2 + r.Intn(2)
+		if k > len(signals) {
+			k = len(signals)
+		}
+		perm := r.Perm(len(signals))[:k]
+		fanins := make([]string, k)
+		for j, p := range perm {
+			fanins[j] = signals[p]
+		}
+		cov := cube.NewCover(k)
+		for c := 0; c < 1+r.Intn(3); c++ {
+			cb := cube.New(k)
+			nLit := 0
+			for v := 0; v < k; v++ {
+				switch r.Intn(3) {
+				case 0:
+					cb.Set(v, cube.Pos)
+					nLit++
+				case 1:
+					cb.Set(v, cube.Neg)
+					nLit++
+				}
+			}
+			if nLit > 0 {
+				cov.Add(cb)
+			}
+		}
+		if cov.IsZero() {
+			cb := cube.New(k)
+			cb.Set(0, cube.Pos)
+			cov.Add(cb)
+		}
+		name := nw.FreshName("n")
+		nw.AddNode(name, fanins, cov)
+		signals = append(signals, name)
+		nw.AddPO(name)
+	}
+	return nw
+}
+
+func TestPodemCoverageOnBenchmarks(t *testing.T) {
+	// Sanity: on c17 every wire fault is testable (C17 is irredundant).
+	nw := network.New("c17")
+	for _, pi := range []string{"i1", "i2", "i3", "i6", "i7"} {
+		nw.AddPI(pi)
+	}
+	nand := func(name, x, y string) {
+		nw.AddNode(name, []string{x, y}, cube.ParseCover(2, "a' + b'"))
+	}
+	nand("g10", "i1", "i3")
+	nand("g11", "i3", "i6")
+	nand("g16", "i2", "g11")
+	nand("g19", "g11", "i7")
+	nand("g22", "g10", "g16")
+	nand("g23", "g16", "g19")
+	nw.AddPO("g22")
+	nw.AddPO("g23")
+	nl, pis := buildForATPG(nw)
+	p := NewPodem(nl, 0)
+	for _, f := range allWireFaults(nl) {
+		_, res := p.GenerateTest(f)
+		want := exhaustivelyTestable(nl, pis, f)
+		if (res == Testable) != want {
+			t.Errorf("c17 fault %+v: podem=%v exhaustive=%v", f, res, want)
+		}
+	}
+}
+
+func TestPodemAbortsOnTinyLimit(t *testing.T) {
+	// A reconvergent circuit where some fault needs search: with a
+	// backtrack limit of 1 at least one fault must abort or every verdict
+	// must still be correct (no wrong answers under pressure).
+	r := rand.New(rand.NewSource(7))
+	nw := randomPodemDAG(r)
+	nl := netlist.FromNetwork(nw).NL
+	pis := nw.PIs()
+	if len(pis) > 10 {
+		t.Skip("too wide for exhaustive cross-check")
+	}
+	p := NewPodem(nl, 1)
+	for _, f := range allWireFaults(nl) {
+		_, res := p.GenerateTest(f)
+		if res == Aborted {
+			continue
+		}
+		want := exhaustivelyTestable(nl, pis, f)
+		if (res == Testable) != want {
+			t.Fatalf("fault %+v: wrong verdict %v under limit (exhaustive %v)", f, res, want)
+		}
+	}
+}

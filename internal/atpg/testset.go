@@ -1,0 +1,130 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// TestSet is a compacted collection of test vectors with coverage
+// bookkeeping.
+type TestSet struct {
+	// Vectors assign each primary-input name a value.
+	Vectors []map[string]bool
+	// Detected counts faults covered by Vectors.
+	Detected int
+	// Redundant counts faults proved untestable.
+	Redundant int
+	// Aborted counts faults PODEM gave up on.
+	Aborted int
+	// Total is the size of the collapsed fault list.
+	Total int
+}
+
+// GenerateTestSet produces a compact test set for all (collapsed) wire
+// faults of nl: PODEM generates a vector per undetected fault, fault
+// simulation drops everything else the vector catches, and a reverse-order
+// compaction pass removes vectors made unnecessary by later ones.
+func GenerateTestSet(nl *netlist.Netlist, podemLimit int) TestSet {
+	faults := CollapseFaults(nl, AllFaults(nl))
+	ts := TestSet{Total: len(faults)}
+	p := NewPodem(nl, podemLimit)
+
+	remaining := append([]Fault(nil), faults...)
+	for len(remaining) > 0 {
+		f := remaining[0]
+		vec, res := p.GenerateTest(f)
+		switch res {
+		case Redundant:
+			ts.Redundant++
+			remaining = remaining[1:]
+			continue
+		case Aborted:
+			ts.Aborted++
+			remaining = remaining[1:]
+			continue
+		}
+		ts.Vectors = append(ts.Vectors, vec)
+		// Drop every remaining fault this vector detects.
+		kept := remaining[:0]
+		for _, g := range remaining {
+			if detects(nl, vec, g) {
+				ts.Detected++
+			} else {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == len(remaining) {
+			// Defensive: the generated vector must at least detect f.
+			kept = kept[1:]
+			ts.Detected++
+		}
+		remaining = kept
+	}
+
+	ts.Vectors = compactVectors(nl, ts.Vectors, faults)
+	return ts
+}
+
+// detects reports whether the vector distinguishes the faulty circuit at an
+// observable gate.
+func detects(nl *netlist.Netlist, vec map[string]bool, f Fault) bool {
+	in := make(map[string]uint64, len(vec))
+	for pi, v := range vec {
+		if v {
+			in[pi] = 1
+		}
+	}
+	good := nl.Eval(in)
+	bad := nl.EvalWithFault(in, f.Wire.Gate, f.Wire.Pin, f.Stuck == One)
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.IsPO(g) || (nl.KindOf(g) != netlist.Input && len(nl.Fanouts(g)) == 0) {
+			if good[g]&1 != bad[g]&1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compactVectors drops vectors whose detected faults are all covered by the
+// other vectors, scanning in reverse order (classic reverse-order
+// compaction).
+func compactVectors(nl *netlist.Netlist, vectors []map[string]bool, faults []Fault) []map[string]bool {
+	if len(vectors) <= 1 {
+		return vectors
+	}
+	// coverage[i] = set of fault indices vector i detects.
+	coverage := make([][]int, len(vectors))
+	counts := make([]int, len(faults))
+	for i, vec := range vectors {
+		for fi, f := range faults {
+			if detects(nl, vec, f) {
+				coverage[i] = append(coverage[i], fi)
+				counts[fi]++
+			}
+		}
+	}
+	keep := make([]bool, len(vectors))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := len(vectors) - 1; i >= 0; i-- {
+		needed := false
+		for _, fi := range coverage[i] {
+			if counts[fi] == 1 {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			keep[i] = false
+			for _, fi := range coverage[i] {
+				counts[fi]--
+			}
+		}
+	}
+	var out []map[string]bool
+	for i, vec := range vectors {
+		if keep[i] {
+			out = append(out, vec)
+		}
+	}
+	return out
+}

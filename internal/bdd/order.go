@@ -1,0 +1,110 @@
+package bdd
+
+import (
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// OrderBySupport computes a variable order for a cover by a connectivity
+// heuristic: starting from the variable with the most literal occurrences,
+// repeatedly append the unplaced variable sharing the most cubes with the
+// placed set. Interleaving strongly connected variables is the classic cure
+// for exponential BDD blow-up (e.g. x1·y1 + x2·y2 + … built with all x's
+// before all y's). Returns a permutation perm with perm[i] = the original
+// variable placed at level i.
+func OrderBySupport(f cube.Cover) []int {
+	n := f.NumVars()
+	occ := make([]int, n)
+	for _, c := range f.Cubes {
+		for _, v := range c.Lits() {
+			occ[v]++
+		}
+	}
+	// adjacency[u][v] = number of cubes containing both.
+	adj := make([][]int, n)
+	for i := range adj {
+		adj[i] = make([]int, n)
+	}
+	for _, c := range f.Cubes {
+		lits := c.Lits()
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				adj[lits[i]][lits[j]]++
+				adj[lits[j]][lits[i]]++
+			}
+		}
+	}
+	placed := make([]bool, n)
+	var perm []int
+	place := func(v int) {
+		placed[v] = true
+		perm = append(perm, v)
+	}
+	// Seed: most frequent variable (lowest index on ties).
+	for len(perm) < n {
+		best, bestScore := -1, -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			score := 0
+			if len(perm) == 0 {
+				score = occ[v]
+			} else {
+				for _, u := range perm {
+					score += adj[v][u]
+				}
+				score = score*4 + occ[v] // connectivity dominates, occupancy ties
+			}
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		place(best)
+	}
+	return perm
+}
+
+// FromCoverOrdered builds the BDD of f under the given variable order:
+// original variable perm[i] maps to BDD level i. Returns the BDD and the
+// level-of-variable mapping used (inverse permutation).
+func (m *Manager) FromCoverOrdered(f cube.Cover, perm []int) (Ref, []int) {
+	level := make([]int, len(perm))
+	for lvl, v := range perm {
+		level[v] = lvl
+	}
+	out := Zero
+	for _, c := range f.Cubes {
+		// AND literals from the bottom level up.
+		lits := c.Lits()
+		sorted := append([]int(nil), lits...)
+		sort.Slice(sorted, func(i, j int) bool { return level[sorted[i]] > level[sorted[j]] })
+		t := One
+		for _, v := range sorted {
+			if c.Get(v) == cube.Pos {
+				t = m.And(t, m.Var(level[v]))
+			} else {
+				t = m.And(t, m.NVar(level[v]))
+			}
+		}
+		out = m.Or(out, t)
+	}
+	return out, level
+}
+
+// CountNodes returns the number of distinct internal nodes reachable from f.
+func (m *Manager) CountNodes(f Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == Zero || r == One || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	return len(seen)
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/blif"
+	"repro/internal/verify"
+)
+
+func TestSuiteWellFormed(t *testing.T) {
+	for _, nw := range Suite() {
+		if err := nw.Check(); err != nil {
+			t.Errorf("%s: %v", nw.Name, err)
+		}
+		if len(nw.PIs()) == 0 || len(nw.POs()) == 0 || nw.NumNodes() == 0 {
+			t.Errorf("%s: degenerate shape", nw.Name)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if blif.ToString(a[i]) != blif.ToString(b[i]) {
+			t.Errorf("%s: non-deterministic construction", a[i].Name)
+		}
+	}
+}
+
+func TestSuiteBlifRoundTrip(t *testing.T) {
+	for _, nw := range Suite() {
+		s := blif.ToString(nw)
+		back, err := blif.ParseString(s)
+		if err != nil {
+			t.Errorf("%s: reparse: %v", nw.Name, err)
+			continue
+		}
+		if !verify.Equivalent(nw, back) {
+			t.Errorf("%s: BLIF round trip not equivalent", nw.Name)
+		}
+	}
+}
+
+func TestRipple4Adds(t *testing.T) {
+	nw := Get("ripple4")
+	// Check 3 + 5 + 0 = 8 on single-bit patterns.
+	in := map[string]uint64{}
+	for _, pi := range nw.PIs() {
+		in[pi] = 0
+	}
+	in["a0"], in["a1"] = 1, 1 // a = 3
+	in["b0"], in["b2"] = 1, 1 // b = 5
+	v := nw.Simulate(in)
+	sum := v["s0"]&1 | v["s1"]&1<<1 | v["s2"]&1<<2 | v["s3"]&1<<3 | v["c4"]&1<<4
+	// encode: bit k of signal word 0... each signal word is 0 or 1; compose.
+	got := v["s0"]&1 + (v["s1"]&1)*2 + (v["s2"]&1)*4 + (v["s3"]&1)*8 + (v["c4"]&1)*16
+	_ = sum
+	if got != 8 {
+		t.Errorf("3+5 = %d", got)
+	}
+}
+
+func TestC17KnownVector(t *testing.T) {
+	nw := Get("c17")
+	// All inputs 0: g10=1, g11=1, g16=1, g19=1, g22=NAND(1,1)=0, g23=0.
+	in := map[string]uint64{}
+	for _, pi := range nw.PIs() {
+		in[pi] = 0
+	}
+	v := nw.Simulate(in)
+	if v["g22"]&1 != 0 || v["g23"]&1 != 0 {
+		t.Errorf("c17 all-zeros: g22=%d g23=%d", v["g22"]&1, v["g23"]&1)
+	}
+	// i2=1, i7=1, rest 0: g11=1, g16=NAND(1,1)=0, g19=NAND(1,1)=0,
+	// g22=NAND(1,0)=1, g23=NAND(0,0)=1.
+	in["i2"], in["i7"] = 1, 1
+	v = nw.Simulate(in)
+	if v["g22"]&1 != 1 || v["g23"]&1 != 1 {
+		t.Errorf("c17 vector 2: g22=%d g23=%d", v["g22"]&1, v["g23"]&1)
+	}
+}
+
+func TestComparatorSemantics(t *testing.T) {
+	nw := Get("cmp8")
+	set := func(in map[string]uint64, pfx string, val uint64) {
+		for i := 0; i < 8; i++ {
+			in[pfx+string(rune('0'+i))] = val >> i & 1
+		}
+	}
+	cases := []struct {
+		a, b   uint64
+		eq, lt uint64
+	}{
+		{5, 5, 1, 0}, {3, 9, 0, 1}, {200, 100, 0, 0}, {0, 0, 1, 0}, {255, 254, 0, 0}, {254, 255, 0, 1},
+	}
+	for _, tc := range cases {
+		in := map[string]uint64{}
+		set(in, "a", tc.a)
+		set(in, "b", tc.b)
+		v := nw.Simulate(in)
+		if v["eq0"]&1 != tc.eq || v["lt0"]&1 != tc.lt {
+			t.Errorf("cmp(%d,%d): eq=%d lt=%d, want %d %d",
+				tc.a, tc.b, v["eq0"]&1, v["lt0"]&1, tc.eq, tc.lt)
+		}
+	}
+}
+
+func TestParityOdd(t *testing.T) {
+	nw := Get("par9")
+	in := map[string]uint64{}
+	for _, pi := range nw.PIs() {
+		in[pi] = 0
+	}
+	in["x0"], in["x3"], in["x7"] = 1, 1, 1 // 3 ones → odd
+	v := nw.Simulate(in)
+	if v[nw.POs()[0]]&1 != 1 {
+		t.Error("parity of 3 ones should be 1")
+	}
+	in["x5"] = 1 // 4 ones → even
+	v = nw.Simulate(in)
+	if v[nw.POs()[0]]&1 != 0 {
+		t.Error("parity of 4 ones should be 0")
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	nw := Get("dec4")
+	in := map[string]uint64{"s0": 1, "s1": 0, "s2": 1, "s3": 0} // select 5
+	v := nw.Simulate(in)
+	for m := 0; m < 16; m++ {
+		want := uint64(0)
+		if m == 5 {
+			want = 1
+		}
+		if v[nwPO(m)]&1 != want {
+			t.Errorf("o%d = %d", m, v[nwPO(m)]&1)
+		}
+	}
+}
+
+func nwPO(m int) string { return "o" + itoa(m) }
+
+func itoa(m int) string {
+	if m < 10 {
+		return string(rune('0' + m))
+	}
+	return string(rune('0'+m/10)) + string(rune('0'+m%10))
+}
+
+func TestMuxSelects(t *testing.T) {
+	nw := Get("mux8")
+	in := map[string]uint64{}
+	for _, pi := range nw.PIs() {
+		in[pi] = 0
+	}
+	in["s0"], in["s1"] = 1, 1 // select line 3
+	in["d3"] = 1
+	v := nw.Simulate(in)
+	if v["f"]&1 != 1 {
+		t.Error("mux should pass d3")
+	}
+	in["d3"], in["d5"] = 0, 1
+	v = nw.Simulate(in)
+	if v["f"]&1 != 0 {
+		t.Error("mux should not pass d5 when selecting 3")
+	}
+}
+
+func TestMajority5(t *testing.T) {
+	nw := Get("maj5")
+	in := map[string]uint64{"x0": 1, "x1": 1, "x2": 0, "x3": 0, "x4": 0}
+	if v := nw.Simulate(in); v["maj"]&1 != 0 {
+		t.Error("2 of 5 is not a majority")
+	}
+	in["x2"] = 1
+	if v := nw.Simulate(in); v["maj"]&1 != 1 {
+		t.Error("3 of 5 is a majority")
+	}
+}
+
+func TestSym6Window(t *testing.T) {
+	nw := Get("sym6")
+	count := func(k int) uint64 {
+		in := map[string]uint64{}
+		for i := 0; i < 6; i++ {
+			v := uint64(0)
+			if i < k {
+				v = 1
+			}
+			in[itoaX(i)] = v
+		}
+		return nw.Simulate(in)["f"] & 1
+	}
+	for k := 0; k <= 6; k++ {
+		want := uint64(0)
+		if k >= 2 && k <= 4 {
+			want = 1
+		}
+		if got := count(k); got != want {
+			t.Errorf("sym6(%d ones) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func itoaX(i int) string { return "x" + string(rune('0'+i)) }
+
+func TestMultiplierCorrect(t *testing.T) {
+	nw := Get("mult3")
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			in := map[string]uint64{}
+			for i := 0; i < 3; i++ {
+				in["a"+itoaX(i)[1:]] = uint64(a >> i & 1)
+				in["b"+itoaX(i)[1:]] = uint64(b >> i & 1)
+			}
+			v := nw.Simulate(in)
+			got := 0
+			for k := 0; k < 6; k++ {
+				name := "p" + itoaX(k)[1:]
+				if _, ok := v[name]; ok {
+					got |= int(v[name]&1) << k
+				}
+			}
+			if got != a*b {
+				t.Fatalf("mult3: %d*%d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}

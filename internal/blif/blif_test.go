@@ -1,0 +1,205 @@
+package blif
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+const sample = `
+# simple example
+.model test
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names a c g
+10 1
+01 1
+.end
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	nw, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "test" {
+		t.Errorf("name = %q", nw.Name)
+	}
+	if len(nw.PIs()) != 3 || len(nw.POs()) != 2 || nw.NumNodes() != 3 {
+		t.Fatalf("shape: %d PI %d PO %d nodes", len(nw.PIs()), len(nw.POs()), nw.NumNodes())
+	}
+	out := ToString(nw)
+	nw2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !verify.Equivalent(nw, nw2) {
+		t.Error("round trip not equivalent")
+	}
+}
+
+func TestParseOffsetRows(t *testing.T) {
+	src := `
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+`
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = (ab)' = a' + b'
+	f := nw.Node("f")
+	assign := []bool{true, true}
+	if f.Cover.Eval(assign) {
+		t.Error("f(1,1) should be 0")
+	}
+	if !f.Cover.Eval([]bool{false, true}) {
+		t.Error("f(0,1) should be 1")
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero f
+.names one
+1
+.names zero
+.names a f
+1 1
+.end
+`
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := nw.Node("one")
+	if one.Cover.IsZero() {
+		t.Error("const 1 parsed as 0")
+	}
+	zero := nw.Node("zero")
+	if !zero.Cover.IsZero() {
+		t.Error("const 0 parsed wrong")
+	}
+	out := ToString(nw)
+	if _, err := ParseString(out); err != nil {
+		t.Fatalf("reparse constants: %v\n%s", err, out)
+	}
+}
+
+func TestParseContinuation(t *testing.T) {
+	src := ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.PIs()) != 2 {
+		t.Errorf("PIs = %v", nw.PIs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		".model x\n.inputs a\n.outputs f\n.latch a f 0\n.end",
+		".model x\n.inputs a\n.outputs f\n.names a f\n111 1\n.end",
+		".model x\n.inputs a\n.outputs f\n11 1\n.end",
+		".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end",
+	}
+	for i, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("case %d: error expected", i)
+		}
+	}
+	// Undriven output should fail Check.
+	if _, err := ParseString(".model x\n.inputs a\n.outputs f\n.end"); err == nil {
+		t.Error("undriven PO accepted")
+	}
+}
+
+func TestWriteStable(t *testing.T) {
+	nw, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ToString(nw), ToString(nw)
+	if a != b {
+		t.Error("non-deterministic BLIF output")
+	}
+	if !strings.Contains(a, ".model test") {
+		t.Errorf("missing model line:\n%s", a)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := "# header\n\n.model c  # trailing\n.inputs a b\n.outputs f\n\n.names a b f  # node\n11 1\n# done\n.end\n"
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 1 {
+		t.Errorf("nodes = %d", nw.NumNodes())
+	}
+}
+
+func TestParseDontCareColumns(t *testing.T) {
+	src := ".model dc\n.inputs a b c\n.outputs f\n.names a b c f\n1-0 1\n-11 1\n.end\n"
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := nw.Node("f")
+	if f.Cover.NumCubes() != 2 || f.Cover.NumLits() != 4 {
+		t.Errorf("cover = %v", f.Cover)
+	}
+}
+
+func TestWriteParsePreservesPOsOnPIs(t *testing.T) {
+	src := ".model w\n.inputs a\n.outputs a\n.end\n"
+	nw, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ToString(nw)
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(back.POs()) != 1 || back.POs()[0] != "a" {
+		t.Errorf("POs = %v", back.POs())
+	}
+}
+
+func TestParseTestdataFiles(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.blif")
+	if err != nil || len(files) == 0 {
+		t.Skipf("no testdata BLIF files: %v", err)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := nw.Check(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

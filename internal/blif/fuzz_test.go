@@ -1,0 +1,48 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+// FuzzParse exercises the BLIF reader on arbitrary input: it must never
+// panic, and everything it accepts must survive a write/parse round trip
+// equivalently.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+	f.Add(".model x\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n")
+	f.Add(".model x\n.inputs a\n.outputs f\n.names f\n1\n.end\n")
+	f.Add(".names a b\n")
+	f.Add(".model \\\n x\n.inputs a\n.outputs a\n.end")
+	f.Fuzz(func(t *testing.T, src string) {
+		nw, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := ToString(nw)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("accepted input failed round trip: %v\ninput: %q\nout: %q", err, src, out)
+		}
+		if len(nw.PIs()) <= 16 {
+			if !verify.Equivalent(nw, back) {
+				t.Fatalf("round trip changed function for %q", src)
+			}
+		}
+	})
+}
+
+// FuzzParseNoSemanticsCrash feeds structured-ish fragments.
+func FuzzParseNoSemanticsCrash(f *testing.F) {
+	f.Add("a b f", "11 1")
+	f.Fuzz(func(t *testing.T, header, row string) {
+		if strings.ContainsAny(header, "\n\r") || strings.ContainsAny(row, "\n\r") {
+			return
+		}
+		src := ".model z\n.inputs a b\n.outputs f\n.names " + header + "\n" + row + "\n.end\n"
+		_, _ = ParseString(src) // must not panic
+	})
+}

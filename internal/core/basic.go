@@ -1,0 +1,325 @@
+package core
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/cube"
+	"repro/internal/netlist"
+	"repro/internal/network"
+)
+
+// DivideResult describes a successful Boolean division of node F by signal
+// DSignal: F = Quotient·DSignal + Remainder (or the POS dual), already
+// assembled into a replacement node function.
+type DivideResult struct {
+	// Fanins and Cover are the replacement node function for F.
+	Fanins []string
+	Cover  cube.Cover
+	// Quotient and Remainder are over the same Fanins space (informational;
+	// the quotient excludes the divisor literal itself).
+	Quotient  cube.Cover
+	Remainder cube.Cover
+	// WiresRemoved counts RAR removals performed during the division.
+	WiresRemoved int
+	// POS reports that the division was performed in product-of-sum form.
+	POS bool
+}
+
+// BasicDivide performs the paper's basic Boolean division of node f by node
+// d within network nw (Section III-B): split off the remainder, AND the
+// rest with d (redundant by Lemma 1 — realized as a d-literal in every
+// quotient cube, which is implication-equivalent to the bold AND gate of
+// Fig. 2), then remove redundancies inside the region. Returns ok=false when
+// d is not usable (no cube of f is contained by a cube of d, or using d
+// would create a cycle).
+func BasicDivide(nw *network.Network, f, d string, cfg Config) (*DivideResult, bool) {
+	fn, dn := nw.Node(f), nw.Node(d)
+	if fn == nil || dn == nil || f == d {
+		return nil, false
+	}
+	if dn.Cover.IsZero() || (dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse()) {
+		return nil, false // constant divisor
+	}
+	if nw.DependsOn(d, f) {
+		return nil, false // substitution would create a cycle
+	}
+	union := unionSignals(fn.Fanins, dn.Fanins)
+	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
+	dU := network.RemapCover(dn.Cover, dn.Fanins, union)
+	qPart, rem := SplitSOS(fU, dU)
+	if qPart.IsZero() {
+		return nil, false
+	}
+	return divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Pos, false)
+}
+
+// BasicDivideCompl divides node f by the COMPLEMENT of node d: the quotient
+// cubes receive a negative divisor literal, f = q·d' + r. This covers the
+// complement phase the SIS `resub -d` baseline exploits, with the same RAR
+// redundancy removal making it Boolean. maxCompl bounds the divisor
+// complement size (0 = default).
+func BasicDivideCompl(nw *network.Network, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+	if maxCompl <= 0 {
+		maxCompl = DefaultMaxComplementCubes
+	}
+	fn, dn := nw.Node(f), nw.Node(d)
+	if fn == nil || dn == nil || f == d {
+		return nil, false
+	}
+	if dn.Cover.IsZero() || (dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse()) {
+		return nil, false
+	}
+	if nw.DependsOn(d, f) {
+		return nil, false
+	}
+	dc := dn.Cover.Complement()
+	if dc.IsZero() || dc.NumCubes() > maxCompl {
+		return nil, false
+	}
+	union := unionSignals(fn.Fanins, dn.Fanins)
+	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
+	dcU := network.RemapCover(dc, dn.Fanins, union)
+	qPart, rem := SplitSOS(fU, dcU)
+	if qPart.IsZero() {
+		return nil, false
+	}
+	return divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Neg, false)
+}
+
+// divideWithParts finishes a division given the SOS split: it installs the
+// tentative structure f = (qPart ∧ y) + rem in a cloned network (with y in
+// the given phase — negative for complement-phase division and for the POS
+// dual, where the caller post-processes the complement), runs RAR
+// redundancy removal in the region, and extracts the result.
+func divideWithParts(nw *network.Network, f, d string, union []string, qPart, rem cube.Cover, cfg Config, yPhase cube.Phase, markPOS bool) (*DivideResult, bool) {
+	// Variable space: union signals plus the divisor signal.
+	space := union
+	yIdx := indexOf(union, d)
+	if yIdx < 0 {
+		yIdx = len(space)
+		space = append(append([]string(nil), union...), d)
+	}
+	n := len(space)
+
+	grow := func(c cube.Cube, withY bool) (cube.Cube, bool) {
+		k := cube.New(n)
+		for _, v := range c.Lits() {
+			k.Set(v, c.Get(v))
+		}
+		if withY {
+			if p := k.Get(yIdx); p != cube.Free && p != yPhase {
+				// The cube already carries the opposite divisor literal.
+				// Being contained in a divisor cube it also implies the
+				// divisor, so it is functionally empty in context: drop it.
+				return cube.Cube{}, false
+			}
+			k.Set(yIdx, yPhase)
+		}
+		return k, true
+	}
+	tentative := cube.NewCover(n)
+	for _, c := range qPart.Cubes {
+		if k, ok := grow(c, true); ok {
+			tentative.Cubes = append(tentative.Cubes, k)
+		}
+	}
+	for _, c := range rem.Cubes {
+		if k, ok := grow(c, false); ok {
+			tentative.Cubes = append(tentative.Cubes, k)
+		}
+	}
+
+	work := nw.Clone()
+	if err := work.ReplaceNodeFunction(f, space, tentative); err != nil {
+		return nil, false
+	}
+
+	removed := runRegionRAR(work, f, d, cfg)
+
+	fn := work.Node(f)
+	res := &DivideResult{
+		Fanins:       fn.Fanins,
+		Cover:        fn.Cover,
+		WiresRemoved: removed,
+		POS:          markPOS,
+	}
+	// Split informational quotient/remainder back out.
+	q, r := cube.NewCover(len(fn.Fanins)), cube.NewCover(len(fn.Fanins))
+	yNow := indexOf(fn.Fanins, d)
+	for _, c := range fn.Cover.Cubes {
+		if yNow >= 0 && c.Get(yNow) == yPhase {
+			q.Cubes = append(q.Cubes, c.With(yNow, cube.Free))
+		} else {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	res.Quotient, res.Remainder = q, r
+	return res, true
+}
+
+// runRegionRAR rebuilds the netlist for the working network and removes
+// redundant wires inside node f's region: literal pins of f's cubes
+// (stuck-at-1) and cube pins at the node's OR (stuck-at-0). Pins carrying
+// the divisor literal are never tested — they realize the added redundancy
+// and define the division form. Removals are extracted back into the node's
+// SOP after every pass (a removal can enable further removals). Returns the
+// number of wires removed.
+func runRegionRAR(work *network.Network, f, d string, cfg Config) int {
+	removed := 0
+	for pass := 0; pass < 8; pass++ {
+		b := netlist.FromNetwork(work)
+		nl := b.NL
+		ng := b.Nodes[f]
+		opt := atpg.Options{}
+		stopAfter := 1 // treat the node output as directly observable
+		switch cfg {
+		case ExtendedGDC:
+			opt.Learn = true
+			stopAfter = -1 // walk real dominators: global don't cares
+		default:
+			opt.Scope = localScope(b, nl, f, d)
+		}
+		e := atpg.NewEngine(nl, opt)
+
+		// Divisor literal gates to protect (positive and, for POS, the
+		// cached inverter).
+		yGate, yOK := nl.Signal[d]
+		yInv := -1
+		if yOK {
+			for _, fo := range nl.Fanouts(yGate) {
+				if nl.KindOf(fo) == netlist.Not && nl.Fanins(fo)[0] == yGate {
+					yInv = fo
+					break
+				}
+			}
+		}
+		protected := func(src int) bool { return yOK && (src == yGate || src == yInv) }
+
+		fn := work.Node(f)
+		changed := false
+		for _, g := range ng.Cubes {
+			for pin := len(nl.Fanins(g)) - 1; pin >= 0; pin-- {
+				if protected(nl.Fanins(g)[pin]) {
+					continue
+				}
+				if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: g, Pin: pin}, atpg.One, stopAfter) {
+					removed++
+					changed = true
+				}
+			}
+		}
+		// Cube pins at the node OR (whole-cube removal).
+		for pin := len(nl.Fanins(ng.Out)) - 1; pin >= 0; pin-- {
+			if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: ng.Out, Pin: pin}, atpg.Zero, stopAfter) {
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			return removed
+		}
+		fn.Cover = extractNode(nl, b, work, f)
+	}
+	return removed
+}
+
+// extractNode reads node f's two-level structure back out of the (mutated)
+// netlist into a cover over the node's current fanins.
+func extractNode(nl *netlist.Netlist, b *netlist.Build, work *network.Network, f string) cube.Cover {
+	fn := work.Node(f)
+	ng := b.Nodes[f]
+	n := len(fn.Fanins)
+	// Map literal gates back to (var, phase).
+	lit := make(map[int]struct {
+		v int
+		p cube.Phase
+	})
+	for v, sig := range fn.Fanins {
+		g := nl.Signal[sig]
+		lit[g] = struct {
+			v int
+			p cube.Phase
+		}{v, cube.Pos}
+		for _, fo := range nl.Fanouts(g) {
+			if nl.KindOf(fo) == netlist.Not && nl.Fanins(fo)[0] == g {
+				lit[fo] = struct {
+					v int
+					p cube.Phase
+				}{v, cube.Neg}
+			}
+		}
+	}
+	cov := cube.NewCover(n)
+	for _, pin := range nl.Fanins(ng.Out) {
+		// pin is a cube AND gate.
+		c := cube.New(n)
+		for _, lg := range nl.Fanins(pin) {
+			l, ok := lit[lg]
+			if !ok {
+				// Not a literal of this node (shouldn't happen).
+				continue
+			}
+			c.Set(l.v, l.p)
+		}
+		cov.Cubes = append(cov.Cubes, c)
+	}
+	return cov.SCC()
+}
+
+// localScope builds the paper's region-restricted implication scope: the
+// two-level structures of f and d, the literal gates (signals and
+// inverters) feeding them, and the signal gates of their fanins.
+func localScope(b *netlist.Build, nl *netlist.Netlist, f, d string) map[int]bool {
+	scope := make(map[int]bool)
+	addNode := func(name string) {
+		ng := b.Nodes[name]
+		if ng == nil {
+			return
+		}
+		scope[ng.Out] = true
+		for _, cg := range ng.Cubes {
+			scope[cg] = true
+			for _, lg := range nl.Fanins(cg) {
+				scope[lg] = true
+				for _, x := range nl.Fanins(lg) {
+					scope[x] = true
+				}
+			}
+		}
+	}
+	addNode(f)
+	addNode(d)
+	return scope
+}
+
+func unionSignals(a, b []string) []string {
+	out := append([]string(nil), a...)
+	seen := make(map[string]bool, len(a))
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexOfInt(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

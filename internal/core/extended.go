@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/atpg"
+	"repro/internal/cube"
+	"repro/internal/netlist"
+	"repro/internal/network"
+)
+
+// Vote is one row of the paper's vote table (Table I): a wire of the
+// dividend together with the divisor cubes whose implied value is 0 when
+// the wire's stuck-at-1 fault is injected — the wire's candidate core
+// divisor. Valid reflects the SOS check against the cube driving the wire.
+type Vote struct {
+	// CubeIdx / Var / Phase identify the wire: the literal (Var, Phase) in
+	// cube CubeIdx of the dividend, in the dividend's local space.
+	CubeIdx int
+	Var     int
+	Phase   cube.Phase
+	// Candidate is a bitmask over the divisor's cubes (bit k = cube k of
+	// the divisor implied to 0).
+	Candidate uint64
+	// Valid is the paper's redundancy precondition: the candidate core
+	// divisor is an SOS of the cube connected to the wire.
+	Valid bool
+}
+
+// maxCoreCubes bounds the divisor cube count handled by the bitmask
+// machinery; divisors beyond it are truncated (first 64 cubes vote).
+const maxCoreCubes = 64
+
+// VoteTable computes the per-wire candidate core divisors for dividing node
+// f by node d (Section IV): inject each dividend wire's stuck-at-1 fault,
+// run implications, and record the divisor cubes implied to 0. Returns
+// ok=false when the pair is structurally unusable.
+func VoteTable(nw *network.Network, f, d string, cfg Config) ([]Vote, bool) {
+	fn, dn := nw.Node(f), nw.Node(d)
+	if fn == nil || dn == nil || f == d || nw.DependsOn(d, f) {
+		return nil, false
+	}
+	b := netlist.FromNetwork(nw)
+	nl := b.NL
+	ngF, ngD := b.Nodes[f], b.Nodes[d]
+
+	opt := atpg.Options{}
+	stopAfter := 1
+	if cfg == ExtendedGDC {
+		opt.Learn = true
+		stopAfter = -1
+	} else {
+		opt.Scope = localScope(b, nl, f, d)
+	}
+	e := atpg.NewEngine(nl, opt)
+
+	// Containment data in the union space for validity checks.
+	union := unionSignals(fn.Fanins, dn.Fanins)
+	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
+	dU := network.RemapCover(dn.Cover, dn.Fanins, union)
+
+	nD := len(ngD.Cubes)
+	if nD > maxCoreCubes {
+		nD = maxCoreCubes
+	}
+
+	var votes []Vote
+	for ci, g := range ngF.Cubes {
+		c := fn.Cover.Cubes[ci]
+		lits := c.Lits()
+		for pi, v := range lits {
+			vote := Vote{CubeIdx: ci, Var: v, Phase: c.Get(v)}
+			e.Reset()
+			fault := atpg.Fault{Wire: atpg.Wire{Gate: g, Pin: pi}, Stuck: atpg.One}
+			consistent := atpg.MandatoryAssignments(e, nl, fault, stopAfter) && e.Propagate()
+			if !consistent {
+				// The wire is redundant outright: it supports any core.
+				vote.Candidate = maskAll(nD)
+				vote.Valid = true
+				votes = append(votes, vote)
+				continue
+			}
+			for k := 0; k < nD; k++ {
+				if e.Val(ngD.Cubes[k]) == atpg.Zero {
+					vote.Candidate |= 1 << k
+				}
+			}
+			if vote.Candidate != 0 {
+				vote.Valid = candidateValid(vote.Candidate, dU, fU.Cubes[ci])
+			}
+			votes = append(votes, vote)
+		}
+	}
+	return votes, true
+}
+
+func maskAll(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
+}
+
+// candidateValid implements the paper's validity filter: the candidate core
+// divisor (the masked divisor cubes) must be an SOS of the single cube
+// connected to the voting wire — i.e. some masked cube contains it.
+func candidateValid(mask uint64, dU cube.Cover, fCube cube.Cube) bool {
+	for k := 0; k < len(dU.Cubes) && k < maxCoreCubes; k++ {
+		if mask&(1<<k) != 0 && dU.Cubes[k].Contains(fCube) {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectCore chooses the core divisor from the vote table — the paper's
+// maximal-clique step (Fig. 4). Each valid vote's candidate mask is a
+// vertex; a set of wires with a common non-empty candidate intersection is
+// a clique whose intersection is the core that removes them all. The
+// intersection closure of the candidate masks contains every maximal
+// clique's core, so scoring each closure element and keeping the best is
+// exact up to the closure cap. Returns the chosen mask and its expected
+// removals (0 mask when no useful core exists).
+func SelectCore(votes []Vote, dU cube.Cover, fU cube.Cover) (uint64, int) {
+	// Distinct candidate masks of valid votes.
+	seen := make(map[uint64]bool)
+	var masks []uint64
+	for _, v := range votes {
+		if v.Valid && v.Candidate != 0 && !seen[v.Candidate] {
+			seen[v.Candidate] = true
+			masks = append(masks, v.Candidate)
+		}
+	}
+	if len(masks) == 0 {
+		return 0, 0
+	}
+	// Intersection closure, capped.
+	const closureCap = 512
+	for i := 0; i < len(masks) && len(masks) < closureCap; i++ {
+		for j := i + 1; j < len(masks) && len(masks) < closureCap; j++ {
+			m := masks[i] & masks[j]
+			if m != 0 && !seen[m] {
+				seen[m] = true
+				masks = append(masks, m)
+			}
+		}
+	}
+	best, bestScore := uint64(0), 0
+	for _, m := range masks {
+		score := 0
+		for _, v := range votes {
+			if !v.Valid || v.Candidate&m != m {
+				continue
+			}
+			// Re-check validity against this specific core.
+			if candidateValid(m, dU, fU.Cubes[v.CubeIdx]) {
+				score++
+			}
+		}
+		if score > bestScore || (score == bestScore && bits.OnesCount64(m) > bits.OnesCount64(best)) {
+			best, bestScore = m, score
+		}
+	}
+	return best, bestScore
+}
+
+// Decomposition records how a divisor was decomposed for extended division.
+type Decomposition struct {
+	// CoreName is the new node exposing the core divisor.
+	CoreName string
+	// CoreMask marks which divisor cubes form the core.
+	CoreMask uint64
+}
+
+// ExtendedDivide performs extended Boolean division of f by d: it builds the
+// vote table, selects a core divisor, decomposes d when the core is a
+// proper subset of its cubes, and finishes with basic division by the core
+// (Section IV). The returned network is a fully rewritten clone (node f
+// replaced; d decomposed when needed); the caller decides acceptance by
+// comparing costs. ok=false when no division is possible.
+func ExtendedDivide(nw *network.Network, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+	fn, dn := nw.Node(f), nw.Node(d)
+	if fn == nil || dn == nil {
+		return nil, nil, nil, false
+	}
+	votes, ok := VoteTable(nw, f, d, cfg)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	union := unionSignals(fn.Fanins, dn.Fanins)
+	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
+	dU := network.RemapCover(dn.Cover, dn.Fanins, union)
+	mask, score := SelectCore(votes, dU, fU)
+	if mask == 0 || score == 0 {
+		return nil, nil, nil, false
+	}
+	nD := dn.Cover.NumCubes()
+	if nD > maxCoreCubes {
+		nD = maxCoreCubes
+	}
+	if mask == maskAll(nD) && nD == dn.Cover.NumCubes() {
+		// Core is the whole divisor: plain basic division.
+		res, ok := BasicDivide(nw, f, d, cfg)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		work := nw.Clone()
+		if err := work.ReplaceNodeFunction(f, res.Fanins, res.Cover); err != nil {
+			return nil, nil, nil, false
+		}
+		work.NormalizeNode(f)
+		return work, res, nil, true
+	}
+
+	// Decompose d = core + rest.
+	work := nw.Clone()
+	coreName := work.FreshName("bdc")
+	coreCover := cube.NewCover(dn.Cover.NumVars())
+	restCover := cube.NewCover(dn.Cover.NumVars())
+	for k, c := range dn.Cover.Cubes {
+		if k < maxCoreCubes && mask&(1<<k) != 0 {
+			coreCover.Cubes = append(coreCover.Cubes, c.Clone())
+		} else {
+			restCover.Cubes = append(restCover.Cubes, c.Clone())
+		}
+	}
+	work.AddNode(coreName, dn.Fanins, coreCover)
+	work.NormalizeNode(coreName)
+	// d := core + rest (core as a fresh single-literal cube).
+	dFanins := append(append([]string(nil), dn.Fanins...), coreName)
+	nd := len(dFanins)
+	newD := cube.NewCover(nd)
+	for _, c := range restCover.Cubes {
+		k := cube.New(nd)
+		for _, v := range c.Lits() {
+			k.Set(v, c.Get(v))
+		}
+		newD.Cubes = append(newD.Cubes, k)
+	}
+	yc := cube.New(nd)
+	yc.Set(nd-1, cube.Pos)
+	newD.Cubes = append(newD.Cubes, yc)
+	if err := work.ReplaceNodeFunction(d, dFanins, newD); err != nil {
+		return nil, nil, nil, false
+	}
+	work.NormalizeNode(d)
+
+	res, ok := BasicDivide(work, f, coreName, cfg)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	if err := work.ReplaceNodeFunction(f, res.Fanins, res.Cover); err != nil {
+		return nil, nil, nil, false
+	}
+	work.NormalizeNode(f)
+	return work, res, &Decomposition{CoreName: coreName, CoreMask: mask}, true
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/cube"
+	"repro/internal/mini"
+	"repro/internal/network"
+)
+
+// DefaultMaxComplementCubes bounds the complement covers manipulated by
+// POS-form division; larger complements are skipped (the SOP path remains).
+const DefaultMaxComplementCubes = 24
+
+// PosDivide performs the paper's product-of-sum-form division of node f by
+// node d. Viewing both functions as products of sum terms, Lemma 2 (the POS
+// dual of Lemma 1) justifies the restructuring f = (d + q)·r, which by De
+// Morgan is equivalent to running the SOS machinery on the complement
+// covers: f̄ = q̄·d̄ + r̄, realized with a NEGATIVE divisor literal. The
+// implication-based removal then reduces q̄, and the final node function is
+// the complement of the reduced cover.
+//
+// POS division always uses region-local implications (the scratch
+// complement structure must not be observed downstream), so cfg degrades
+// ExtendedGDC to Extended internally.
+func PosDivide(nw *network.Network, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+	if maxCompl <= 0 {
+		maxCompl = DefaultMaxComplementCubes
+	}
+	fn, dn := nw.Node(f), nw.Node(d)
+	if fn == nil || dn == nil || f == d {
+		return nil, false
+	}
+	if dn.Cover.IsZero() || (dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse()) {
+		return nil, false
+	}
+	if nw.DependsOn(d, f) {
+		return nil, false
+	}
+	fc := fn.Cover.Complement()
+	if fc.IsZero() || fc.NumCubes() > maxCompl {
+		return nil, false
+	}
+	dc := dn.Cover.Complement()
+	if dc.IsZero() || dc.NumCubes() > maxCompl {
+		return nil, false
+	}
+	// Minimal complements give clean sum terms to match against.
+	fc = mini.Minimize(fc, mini.Options{})
+	dc = mini.Minimize(dc, mini.Options{})
+	union := unionSignals(fn.Fanins, dn.Fanins)
+	fU := network.RemapCover(fc, fn.Fanins, union)
+	dU := network.RemapCover(dc, dn.Fanins, union)
+	qPart, rem := SplitSOS(fU, dU)
+	if qPart.IsZero() {
+		return nil, false
+	}
+	if cfg == ExtendedGDC {
+		cfg = Extended
+	}
+	res, ok := divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Neg, true)
+	if !ok {
+		return nil, false
+	}
+	// res.Cover computes f̄; the node function is its complement.
+	final := res.Cover.Complement()
+	if final.NumCubes() > 4*maxCompl {
+		return nil, false
+	}
+	final = mini.Minimize(final, mini.Options{})
+	out := &DivideResult{
+		Fanins:       res.Fanins,
+		Cover:        final,
+		Quotient:     res.Quotient,
+		Remainder:    res.Remainder,
+		WiresRemoved: res.WiresRemoved,
+		POS:          true,
+	}
+	return out, true
+}
+
+// complCache memoizes per-node complement covers during a substitution
+// pass.
+type complCache struct {
+	max int
+	m   map[string]cube.Cover
+	bad map[string]bool
+}
+
+func newComplCache(max int) *complCache {
+	return &complCache{max: max, m: make(map[string]cube.Cover), bad: make(map[string]bool)}
+}
+
+func (cc *complCache) get(nw *network.Network, name string) (cube.Cover, bool) {
+	if cc.bad[name] {
+		return cube.Cover{}, false
+	}
+	if c, ok := cc.m[name]; ok {
+		return c, true
+	}
+	n := nw.Node(name)
+	if n == nil {
+		cc.bad[name] = true
+		return cube.Cover{}, false
+	}
+	c := n.Cover.Complement()
+	if c.NumCubes() > cc.max || c.IsZero() {
+		cc.bad[name] = true
+		return cube.Cover{}, false
+	}
+	cc.m[name] = c
+	return c, true
+}
+
+func (cc *complCache) invalidate(name string) {
+	delete(cc.m, name)
+	delete(cc.bad, name)
+}

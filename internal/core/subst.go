@@ -1,0 +1,516 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/algebraic"
+	"repro/internal/cube"
+	"repro/internal/mini"
+	"repro/internal/network"
+)
+
+// Options configure the substitution driver.
+type Options struct {
+	// Config selects basic / extended / extended+GDC division.
+	Config Config
+	// POS also tries product-of-sum-form substitution for every pair.
+	POS bool
+	// MaxComplementCubes bounds POS complement sizes (0 = default).
+	MaxComplementCubes int
+	// MaxPasses bounds the outer sweeps over the network (0 = 2).
+	MaxPasses int
+	// MaxDivisorTrials caps how many divisors are tried per dividend after
+	// filtering (0 = 32).
+	MaxDivisorTrials int
+	// Pool also tries multi-node divisor pooling (Section IV's
+	// generalization) when no single divisor yields a gain. Only used by
+	// the Extended and ExtendedGDC configurations.
+	Pool bool
+	// BestGain evaluates every candidate divisor for a node and commits the
+	// best one, instead of the paper's first-positive-gain greedy rule. The
+	// paper attributes its Table V anomaly (ext+GDC underperforming ext) to
+	// the greedy rule; this option exists to measure that explanation
+	// (BenchmarkAblationAcceptance).
+	BestGain bool
+	// WindowDepth, when positive, runs each basic/complement/POS division
+	// on a sub-network windowed to the dividend's and divisor's fanin cones
+	// of that depth, making the per-trial cost independent of circuit size.
+	// Implications in the window are a subset of whole-network implications,
+	// so every windowed division remains sound; deep Boolean relationships
+	// beyond the window are simply not exploited. Extended division (and
+	// GDC) always uses the whole network.
+	WindowDepth int
+	// DepthBudget, when positive, rejects any substitution that would push
+	// the network's logic depth beyond the budget — the delay-aware mode
+	// (substitution reuses deep signals and can otherwise lengthen paths).
+	DepthBudget int
+}
+
+// Stats summarizes a substitution run.
+type Stats struct {
+	// Substitutions counts accepted divisions (SOP + POS).
+	Substitutions int
+	// POSSubstitutions counts those performed in product-of-sum form.
+	POSSubstitutions int
+	// Decompositions counts divisor decompositions (extended division).
+	Decompositions int
+	// WiresRemoved totals RAR removals in accepted divisions.
+	WiresRemoved int
+	// LitsBefore/LitsAfter are factored-form literal totals.
+	LitsBefore, LitsAfter int
+}
+
+// Substitute runs Boolean substitution over the whole network with the
+// paper's locally greedy acceptance: for each node, divisors are tried in a
+// deterministic order and the first division with a positive factored-
+// literal gain is committed. Passes repeat until a fixed point (bounded by
+// MaxPasses).
+func Substitute(nw *network.Network, opt Options) Stats {
+	maxPasses := opt.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 2
+	}
+	maxTrials := opt.MaxDivisorTrials
+	if maxTrials == 0 {
+		maxTrials = 32
+	}
+	maxCompl := opt.MaxComplementCubes
+	if maxCompl <= 0 {
+		maxCompl = DefaultMaxComplementCubes
+	}
+	st := Stats{LitsBefore: nw.FactoredLits()}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		cc := newComplCache(maxCompl)
+		sigs := newSigCache(nw)
+		names := append([]string(nil), nw.TopoOrder()...)
+		// Work outputs-first: substituting into later nodes first tends to
+		// expose more sharing.
+		for i := len(names) - 1; i >= 0; i-- {
+			f := names[i]
+			fn := nw.Node(f)
+			if fn == nil || fn.Cover.IsZero() {
+				continue
+			}
+			cands := candidateDivisors(nw, sigs, cc, f, opt)
+			trials := 0
+			committed := false
+			if opt.BestGain {
+				// Evaluate every candidate and commit the best gain.
+				best := plan{gain: 0}
+				for _, cand := range cands {
+					if trials >= maxTrials {
+						break
+					}
+					trials++
+					if p, ok := planPair(nw, f, cand, opt, cc, sigs); ok && p.gain > best.gain {
+						best = p
+					}
+				}
+				if best.gain > 0 && commitPlan(nw, best, opt, &st) {
+					changed = true
+					committed = true
+				}
+			} else {
+				for _, cand := range cands {
+					if trials >= maxTrials {
+						break
+					}
+					trials++
+					if tryPair(nw, f, cand, opt, cc, sigs, &st) {
+						changed = true
+						committed = true
+						break // paper: take the first positive-gain division
+					}
+				}
+			}
+			if !committed && opt.Pool && opt.Config != Basic {
+				if tryPooled(nw, f, cands, opt, cc, sigs, &st) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	st.LitsAfter = nw.FactoredLits()
+	return st
+}
+
+// candidate pairs a divisor node with the form that passed the structural
+// prefilter: plain SOP, complement-phase SOP (divide by d'), or POS.
+type candidate struct {
+	name string
+	pos  bool
+	neg  bool
+}
+
+// sigCache caches per-node cube literal signatures ((signal, phase) sets)
+// for the containment prefilter.
+type sigCache struct {
+	nw *network.Network
+	m  map[string][][]sigLit
+}
+
+type sigLit struct {
+	sig string
+	neg bool
+}
+
+func newSigCache(nw *network.Network) *sigCache {
+	return &sigCache{nw: nw, m: make(map[string][][]sigLit)}
+}
+
+func (sc *sigCache) get(name string) [][]sigLit {
+	if s, ok := sc.m[name]; ok {
+		return s
+	}
+	n := sc.nw.Node(name)
+	if n == nil {
+		return nil
+	}
+	s := coverSigs(n.Cover, n.Fanins)
+	sc.m[name] = s
+	return s
+}
+
+func (sc *sigCache) invalidate(name string) { delete(sc.m, name) }
+
+func coverSigs(cov cube.Cover, fanins []string) [][]sigLit {
+	out := make([][]sigLit, 0, cov.NumCubes())
+	for _, c := range cov.Cubes {
+		var row []sigLit
+		for _, v := range c.Lits() {
+			row = append(row, sigLit{fanins[v], c.Get(v) == cube.Neg})
+		}
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].sig != row[j].sig {
+				return row[i].sig < row[j].sig
+			}
+			return !row[i].neg
+		})
+		out = append(out, row)
+	}
+	return out
+}
+
+// subsetSig reports whether literal set a ⊆ b (both sorted).
+func subsetSig(a, b []sigLit) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// anyContainment reports whether some cube of d (literal-subset) is
+// contained in some cube of f — the structural precondition for a non-empty
+// SOS split.
+func anyContainment(dSigs, fSigs [][]sigLit) bool {
+	for _, dc := range dSigs {
+		if len(dc) == 0 {
+			continue // universal divisor cube: constant; skip
+		}
+		for _, fc := range fSigs {
+			if len(dc) <= len(fc) && subsetSig(dc, fc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// candidateDivisors lists divisor nodes worth trying for f, most-promising
+// first: candidates are ordered by shared-support size (descending, then
+// name, then form) so the paper's first-positive-gain rule sees the
+// likeliest divisors early. The order is deterministic.
+func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f string, opt Options) []candidate {
+	fSigs := sigs.get(f)
+	fn := nw.Node(f)
+	var fcSigs [][]sigLit
+	if opt.POS {
+		if fcov, ok := cc.get(nw, f); ok {
+			fcSigs = coverSigs(fcov, fn.Fanins)
+		}
+	}
+	fSupport := make(map[string]bool, len(fn.Fanins))
+	for _, s := range fn.Fanins {
+		fSupport[s] = true
+	}
+	tfo := nw.TFOSet(f) // divisors inside f's fanout cone would form cycles
+	type scored struct {
+		c       candidate
+		overlap int
+	}
+	var out []scored
+	for _, d := range nw.SortedNodeNames() {
+		if d == f {
+			continue
+		}
+		dn := nw.Node(d)
+		if dn == nil || dn.Cover.IsZero() || dn.Cover.NumCubes() == 0 {
+			continue
+		}
+		if dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse() {
+			continue
+		}
+		if tfo[d] {
+			continue
+		}
+		overlap := 0
+		for _, s := range dn.Fanins {
+			if fSupport[s] {
+				overlap++
+			}
+		}
+		if anyContainment(sigs.get(d), fSigs) {
+			out = append(out, scored{candidate{name: d}, overlap})
+		}
+		if dcov, ok := cc.get(nw, d); ok {
+			dcSigs := coverSigs(dcov, dn.Fanins)
+			// Complement-phase SOP division (f = q·d' + r) — the phase the
+			// SIS resub -d baseline exploits.
+			if anyContainment(dcSigs, fSigs) {
+				out = append(out, scored{candidate{name: d, neg: true}, overlap})
+			}
+			if opt.POS && fcSigs != nil && anyContainment(dcSigs, fcSigs) {
+				out = append(out, scored{candidate{name: d, pos: true}, overlap})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].overlap > out[j].overlap })
+	cands := make([]candidate, len(out))
+	for i, s := range out {
+		cands[i] = s.c
+	}
+	return cands
+}
+
+// commitNode installs a replacement node function, minimizing the cover
+// first (a prime irredundant cover keeps the downstream algebraic steps of
+// a larger flow effective) and compacting the fanin list.
+func commitNode(nw *network.Network, f string, fanins []string, cover cube.Cover) bool {
+	m := mini.Minimize(cover, mini.Options{})
+	if m.NumCubes() <= cover.NumCubes() && m.NumLits() <= cover.NumLits() {
+		cover = m
+	}
+	if err := nw.ReplaceNodeFunction(f, fanins, cover); err != nil {
+		return false
+	}
+	nw.NormalizeNode(f)
+	return true
+}
+
+// plan is an evaluated division candidate: its factored-literal gain, a
+// closure that commits it, and a closure that undoes the commit (used by
+// the depth-budget check).
+type plan struct {
+	gain    int
+	pos     bool
+	dec     bool
+	removed int
+	apply   func() bool
+	undo    func()
+}
+
+// planPair evaluates one (dividend, divisor) division in the given form
+// without committing it. ok=false when no division exists.
+func planPair(nw *network.Network, f string, cand candidate, opt Options, cc *complCache, sigs *sigCache) (plan, bool) {
+	d := cand.name
+	fn := nw.Node(f)
+	costBefore := algebraic.FactorLits(fn.Cover)
+	// Windowed division: bound the sub-network the division sees.
+	nwd := nw
+	if opt.WindowDepth > 0 {
+		nwd = windowFor(nw, f, d, opt.WindowDepth)
+	}
+	oldFanins := append([]string(nil), fn.Fanins...)
+	oldCover := fn.Cover.Clone()
+	undoF := func() {
+		_ = nw.ReplaceNodeFunction(f, oldFanins, oldCover)
+		cc.invalidate(f)
+		sigs.invalidate(f)
+	}
+	commitF := func(res *DivideResult) func() bool {
+		return func() bool {
+			if !commitNode(nw, f, res.Fanins, res.Cover) {
+				return false
+			}
+			cc.invalidate(f)
+			sigs.invalidate(f)
+			return true
+		}
+	}
+
+	if cand.neg {
+		res, ok := BasicDivideCompl(nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		if !ok {
+			return plan{}, false
+		}
+		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
+	}
+	if cand.pos {
+		res, ok := PosDivide(nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		if !ok {
+			return plan{}, false
+		}
+		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), pos: true, removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
+	}
+
+	switch opt.Config {
+	case Basic:
+		res, ok := BasicDivide(nwd, f, d, opt.Config)
+		if !ok {
+			return plan{}, false
+		}
+		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
+
+	default: // Extended / ExtendedGDC
+		dn := nw.Node(d)
+		before := costBefore + algebraic.FactorLits(dn.Cover)
+
+		// Extended division generalizes basic division; evaluate both and
+		// keep the better (the core-selection heuristic can otherwise pick
+		// a decomposition where the whole divisor would gain more).
+		extGain := -1 << 30
+		var extWork *network.Network
+		var extRes *DivideResult
+		var extDec *Decomposition
+		if work, res, dec, ok := ExtendedDivide(nw, f, d, opt.Config); ok {
+			after := algebraic.FactorLits(work.Node(f).Cover) + algebraic.FactorLits(work.Node(d).Cover)
+			if dec != nil {
+				after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
+			}
+			extGain = before - after
+			extWork, extRes, extDec = work, res, dec
+		}
+		basicGain := -1 << 30
+		var basicRes *DivideResult
+		if res, ok := BasicDivide(nwd, f, d, opt.Config); ok {
+			basicGain = costBefore - algebraic.FactorLits(res.Cover)
+			basicRes = res
+		}
+		if basicRes == nil && extWork == nil {
+			return plan{}, false
+		}
+		if basicGain >= extGain {
+			return plan{gain: basicGain, removed: basicRes.WiresRemoved, apply: commitF(basicRes), undo: undoF}, true
+		}
+		var snapshot *network.Network
+		return plan{gain: extGain, dec: extDec != nil, removed: extRes.WiresRemoved, apply: func() bool {
+			snapshot = nw.Clone()
+			nw.CopyFrom(extWork)
+			cc.invalidate(f)
+			cc.invalidate(d)
+			sigs.invalidate(f)
+			sigs.invalidate(d)
+			return true
+		}, undo: func() {
+			if snapshot != nil {
+				nw.CopyFrom(snapshot)
+			}
+			cc.invalidate(f)
+			cc.invalidate(d)
+			sigs.invalidate(f)
+			sigs.invalidate(d)
+		}}, true
+	}
+}
+
+// tryPair evaluates one candidate and commits it when the gain is positive
+// (the paper's first-positive-gain rule). Returns whether a substitution
+// was committed.
+func tryPair(nw *network.Network, f string, cand candidate, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
+	p, ok := planPair(nw, f, cand, opt, cc, sigs)
+	if !ok || p.gain <= 0 {
+		return false
+	}
+	return commitPlan(nw, p, opt, st)
+}
+
+// commitPlan applies a plan, enforcing the depth budget when set, and
+// updates statistics.
+func commitPlan(nw *network.Network, p plan, opt Options, st *Stats) bool {
+	if !p.apply() {
+		return false
+	}
+	if opt.DepthBudget > 0 {
+		if _, depth := nw.Levels(); depth > opt.DepthBudget {
+			if p.undo != nil {
+				p.undo()
+			}
+			return false
+		}
+	}
+	st.Substitutions++
+	if p.pos {
+		st.POSSubstitutions++
+	}
+	if p.dec {
+		st.Decompositions++
+	}
+	st.WiresRemoved += p.removed
+	return true
+}
+
+// tryPooled attempts one multi-node pooled extended division for f using up
+// to four of the SOP candidates as the divisor pool, committing on positive
+// total gain (f plus any created/rewritten nodes).
+func tryPooled(nw *network.Network, f string, cands []candidate, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
+	var pool []string
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if c.pos || c.neg || seen[c.name] {
+			continue
+		}
+		seen[c.name] = true
+		pool = append(pool, c.name)
+		if len(pool) == 4 {
+			break
+		}
+	}
+	if len(pool) < 2 {
+		return false
+	}
+	fn := nw.Node(f)
+	before := algebraic.FactorLits(fn.Cover)
+	touched := map[string]bool{f: true}
+	for _, d := range pool {
+		before += algebraic.FactorLits(nw.Node(d).Cover)
+		touched[d] = true
+	}
+	work, res, dec, ok := PooledExtendedDivide(nw, f, pool, opt.Config)
+	if !ok {
+		return false
+	}
+	after := 0
+	if dec != nil && work.Node(dec.CoreName) != nil {
+		after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
+	}
+	for name := range touched {
+		if n := work.Node(name); n != nil {
+			after += algebraic.FactorLits(n.Cover)
+		}
+	}
+	if dec != nil {
+		touched[dec.CoreName] = true
+	}
+	if before-after <= 0 {
+		return false
+	}
+	nw.CopyFrom(work)
+	for name := range touched {
+		cc.invalidate(name)
+		sigs.invalidate(name)
+	}
+	st.Substitutions++
+	if dec != nil {
+		st.Decompositions++
+	}
+	st.WiresRemoved += res.WiresRemoved
+	return true
+}

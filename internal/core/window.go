@@ -1,0 +1,64 @@
+package core
+
+import "repro/internal/network"
+
+// windowFor extracts a bounded sub-network around dividend f and divisor d:
+// their fanin cones up to the given depth are copied; signals at the
+// boundary become window primary inputs. Implications inside the window are
+// a subset of whole-network implications, so any division proved there is
+// sound in the full circuit, while the per-trial cost becomes independent
+// of circuit size. The window's signal names are the real signal names, so
+// division results apply to the full network directly.
+func windowFor(nw *network.Network, f, d string, depth int) *network.Network {
+	include := map[string]bool{}
+	frontier := map[string]bool{}
+	type item struct {
+		name string
+		dist int
+	}
+	queue := []item{{f, 0}, {d, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if include[it.name] || frontier[it.name] {
+			continue
+		}
+		n := nw.Node(it.name)
+		if n == nil || it.dist >= depth {
+			// PI of the network, or at the boundary: window input.
+			frontier[it.name] = true
+			continue
+		}
+		include[it.name] = true
+		for _, fi := range n.Fanins {
+			queue = append(queue, item{fi, it.dist + 1})
+		}
+	}
+	// Boundary repair: a fanin of an included node that is not included
+	// must be a frontier input.
+	for name := range include {
+		for _, fi := range nw.Node(name).Fanins {
+			if !include[fi] {
+				frontier[fi] = true
+			}
+		}
+	}
+
+	w := network.New(nw.Name + "@win")
+	for name := range frontier {
+		if !include[name] {
+			w.AddPI(name)
+		}
+	}
+	// Add nodes in the full network's topological order restricted to the
+	// window.
+	for _, name := range nw.TopoOrder() {
+		if include[name] {
+			n := nw.Node(name)
+			w.AddNode(name, n.Fanins, n.Cover.Clone())
+		}
+	}
+	w.AddPO(f)
+	w.AddPO(d)
+	return w
+}

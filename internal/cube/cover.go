@@ -1,0 +1,385 @@
+package cube
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cover is a sum-of-products: the OR of its cubes, all over the same
+// variable space. The empty cover denotes the constant-0 function.
+type Cover struct {
+	Cubes []Cube
+	n     int
+}
+
+// NewCover returns an empty (constant-0) cover over n variables.
+func NewCover(n int) Cover { return Cover{n: n} }
+
+// CoverOf builds a cover from cubes; all must share the same space.
+func CoverOf(n int, cs ...Cube) Cover {
+	cov := Cover{n: n}
+	for _, c := range cs {
+		cov.Add(c)
+	}
+	return cov
+}
+
+// ParseCover parses "ab + c'd + e" into a cover over n ≤ 26 variables.
+// "0" is the empty cover, "1" the universal cover. For tests and examples.
+func ParseCover(n int, s string) Cover {
+	cov := NewCover(n)
+	s = strings.TrimSpace(s)
+	if s == "0" || s == "" {
+		return cov
+	}
+	for _, t := range strings.Split(s, "+") {
+		cov.Add(Parse(n, strings.TrimSpace(t)))
+	}
+	return cov
+}
+
+// NumVars returns the variable-space size.
+func (f Cover) NumVars() int { return f.n }
+
+// Add appends cube c unless it is empty.
+func (f *Cover) Add(c Cube) {
+	if c.n != f.n {
+		panic("cube: cover/cube space mismatch")
+	}
+	if c.IsEmpty() {
+		return
+	}
+	f.Cubes = append(f.Cubes, c)
+}
+
+// Clone deep-copies the cover.
+func (f Cover) Clone() Cover {
+	g := Cover{n: f.n, Cubes: make([]Cube, len(f.Cubes))}
+	for i, c := range f.Cubes {
+		g.Cubes[i] = c.Clone()
+	}
+	return g
+}
+
+// IsZero reports whether the cover has no cubes (constant 0).
+func (f Cover) IsZero() bool { return len(f.Cubes) == 0 }
+
+// NumCubes returns the number of product terms.
+func (f Cover) NumCubes() int { return len(f.Cubes) }
+
+// NumLits returns the total literal count of the SOP form.
+func (f Cover) NumLits() int {
+	n := 0
+	for _, c := range f.Cubes {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// Support returns the ascending list of variables appearing in any cube.
+func (f Cover) Support() []int {
+	seen := make(map[int]bool)
+	for _, c := range f.Cubes {
+		for _, v := range c.Lits() {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasVar reports whether variable v appears in the cover.
+func (f Cover) HasVar(v int) bool {
+	for _, c := range f.Cubes {
+		if c.ContainsVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cofactor returns the cover cofactored against cube p: cubes disjoint from
+// p are dropped, the rest have p's variables freed.
+func (f Cover) Cofactor(p Cube) Cover {
+	g := NewCover(f.n)
+	for _, c := range f.Cubes {
+		if cc, ok := c.Cofactor(p); ok {
+			g.Cubes = append(g.Cubes, cc)
+		}
+	}
+	return g
+}
+
+// SCC performs single-cube-containment minimization: deletes duplicate cubes
+// and cubes contained in another cube of the cover. The result is returned;
+// f is unchanged.
+func (f Cover) SCC() Cover {
+	// Sort by decreasing cube size (fewer literals first => bigger cubes
+	// first) so one pass suffices.
+	cs := make([]Cube, len(f.Cubes))
+	copy(cs, f.Cubes)
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].NumLits() < cs[j].NumLits() })
+	g := NewCover(f.n)
+	for _, c := range cs {
+		kept := true
+		for _, k := range g.Cubes {
+			if k.Contains(c) {
+				kept = false
+				break
+			}
+		}
+		if kept {
+			g.Cubes = append(g.Cubes, c)
+		}
+	}
+	return g
+}
+
+// IsTautology reports whether the cover equals the constant-1 function,
+// using the unate recursive paradigm.
+func (f Cover) IsTautology() bool {
+	return tautology(f, 0)
+}
+
+const maxTautDepth = 1 << 20 // recursion guard; never hit in practice
+
+func tautology(f Cover, depth int) bool {
+	if depth > maxTautDepth {
+		panic("cube: tautology recursion blow-up")
+	}
+	// Quick exits.
+	if len(f.Cubes) == 0 {
+		return false
+	}
+	for _, c := range f.Cubes {
+		if c.IsUniverse() {
+			return true
+		}
+	}
+	// Unate reduction: a variable appearing in only one phase can have cubes
+	// containing it deleted only if... (unate tautology test): a unate cover
+	// is a tautology iff it contains the universal cube. If the whole cover
+	// is unate, we are done (no universal cube was found above).
+	v, binate := mostBinateVar(f)
+	if !binate {
+		// Unate cover without the universal cube: not a tautology, unless
+		// dropping unate literals exposes one — for a unate cover, deleting
+		// all literals of a variable that appears in a single phase cannot
+		// create a tautology that wasn't one, so the answer is no.
+		return false
+	}
+	lit := New(f.n)
+	lit.Set(v, Pos)
+	if !tautology(f.Cofactor(lit), depth+1) {
+		return false
+	}
+	lit.Set(v, Neg)
+	return tautology(f.Cofactor(lit), depth+1)
+}
+
+// mostBinateVar picks the variable appearing in both phases in the most
+// cubes (lowest index on ties, for determinism); binate is false when the
+// cover is unate (no such variable).
+func mostBinateVar(f Cover) (v int, binate bool) {
+	pos := make(map[int]int)
+	neg := make(map[int]int)
+	for _, c := range f.Cubes {
+		for _, u := range c.Lits() {
+			if c.Get(u) == Pos {
+				pos[u]++
+			} else {
+				neg[u]++
+			}
+		}
+	}
+	best, bestCount := -1, -1
+	for u := 0; u < f.n; u++ {
+		p := pos[u]
+		if n := neg[u]; p > 0 && n > 0 && p+n > bestCount {
+			best, bestCount = u, p+n
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// ContainsCube reports whether cube c is contained in the cover (every
+// minterm of c is covered): equivalent to the cofactor of f by c being a
+// tautology.
+func (f Cover) ContainsCube(c Cube) bool {
+	if c.IsEmpty() {
+		return true
+	}
+	return f.Cofactor(c).IsTautology()
+}
+
+// ContainsCover reports whether g ⊆ f as functions.
+func (f Cover) ContainsCover(g Cover) bool {
+	for _, c := range g.Cubes {
+		if !f.ContainsCube(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports functional equality of two covers.
+func (f Cover) Equivalent(g Cover) bool {
+	return f.ContainsCover(g) && g.ContainsCover(f)
+}
+
+// Complement returns a cover of the complement function, computed by the
+// recursive Shannon expansion with unate shortcuts and single-cube
+// containment cleanup.
+func (f Cover) Complement() Cover {
+	return complement(f).SCC()
+}
+
+func complement(f Cover) Cover {
+	n := f.n
+	if len(f.Cubes) == 0 {
+		g := NewCover(n)
+		g.Cubes = append(g.Cubes, New(n))
+		return g
+	}
+	for _, c := range f.Cubes {
+		if c.IsUniverse() {
+			return NewCover(n)
+		}
+	}
+	if len(f.Cubes) == 1 {
+		return complementCube(f.Cubes[0])
+	}
+	v, binate := mostBinateVar(f)
+	if !binate {
+		// Pick the most frequent variable (lowest index on ties) to keep
+		// recursion shallow and deterministic.
+		count := make(map[int]int)
+		for _, c := range f.Cubes {
+			for _, u := range c.Lits() {
+				count[u]++
+			}
+		}
+		best, bc := -1, -1
+		for u := 0; u < f.n; u++ {
+			if k := count[u]; k > bc {
+				best, bc = u, k
+			}
+		}
+		v = best
+	}
+	pos := New(n)
+	pos.Set(v, Pos)
+	neg := New(n)
+	neg.Set(v, Neg)
+	cp := complement(f.Cofactor(pos))
+	cn := complement(f.Cofactor(neg))
+	g := NewCover(n)
+	for _, c := range cp.Cubes {
+		d := c.Clone()
+		if !d.ContainsVar(v) {
+			d.Set(v, Pos)
+		} else if d.Get(v) == Neg {
+			continue // x · (x'-cube) is empty
+		}
+		g.Cubes = append(g.Cubes, d)
+	}
+	for _, c := range cn.Cubes {
+		d := c.Clone()
+		if !d.ContainsVar(v) {
+			d.Set(v, Neg)
+		} else if d.Get(v) == Pos {
+			continue
+		}
+		g.Cubes = append(g.Cubes, d)
+	}
+	return g
+}
+
+// complementCube applies De Morgan to a single cube.
+func complementCube(c Cube) Cover {
+	g := NewCover(c.n)
+	for _, v := range c.Lits() {
+		k := New(c.n)
+		if c.Get(v) == Pos {
+			k.Set(v, Neg)
+		} else {
+			k.Set(v, Pos)
+		}
+		g.Cubes = append(g.Cubes, k)
+	}
+	return g
+}
+
+// And returns the product of two covers (cube-pairwise intersection, SCC'd).
+func (f Cover) And(g Cover) Cover {
+	out := NewCover(f.n)
+	for _, a := range f.Cubes {
+		for _, b := range g.Cubes {
+			p := a.And(b)
+			if !p.IsEmpty() {
+				out.Cubes = append(out.Cubes, p)
+			}
+		}
+	}
+	return out.SCC()
+}
+
+// Or returns the sum of two covers, SCC'd.
+func (f Cover) Or(g Cover) Cover {
+	out := NewCover(f.n)
+	out.Cubes = append(out.Cubes, f.Cubes...)
+	out.Cubes = append(out.Cubes, g.Cubes...)
+	return out.SCC()
+}
+
+// Dedup removes exact-duplicate cubes (cheaper than SCC).
+func (f Cover) Dedup() Cover {
+	seen := make(map[string]bool, len(f.Cubes))
+	g := NewCover(f.n)
+	for _, c := range f.Cubes {
+		k := c.key()
+		if !seen[k] {
+			seen[k] = true
+			g.Cubes = append(g.Cubes, c)
+		}
+	}
+	return g
+}
+
+// Eval evaluates the cover on a complete assignment given as a bit-slice
+// (true = 1) indexed by variable.
+func (f Cover) Eval(assign []bool) bool {
+	for _, c := range f.Cubes {
+		ok := true
+		for _, v := range c.Lits() {
+			if (c.Get(v) == Pos) != assign[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the cover as "ab + c'".
+func (f Cover) String() string {
+	if len(f.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(f.Cubes))
+	for i, c := range f.Cubes {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,169 @@
+package cube
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCofactorCover(t *testing.T) {
+	f := ParseCover(3, "ab + a'c + bc")
+	a := Parse(3, "a")
+	fa := f.Cofactor(a)
+	// f_a = b + bc = b + c... (cube a'c dropped, ab → b, bc stays)
+	want := ParseCover(3, "b + bc")
+	if !fa.Equivalent(want) {
+		t.Errorf("f_a = %v", fa)
+	}
+	an := Parse(3, "a'")
+	fan := f.Cofactor(an)
+	if !fan.Equivalent(ParseCover(3, "c + bc")) {
+		t.Errorf("f_a' = %v", fan)
+	}
+}
+
+func TestCofactorByMultiLiteralCube(t *testing.T) {
+	f := ParseCover(4, "abc + abd + a'd")
+	ab := Parse(4, "ab")
+	g := f.Cofactor(ab)
+	if !g.Equivalent(ParseCover(4, "c + d")) {
+		t.Errorf("f_ab = %v", g)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	cases := map[Phase]string{Pos: "pos", Neg: "neg", Free: "free", Empty: "empty"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestLargeVariableSpaceNames(t *testing.T) {
+	c := New(40)
+	c.Set(30, Pos)
+	c.Set(35, Neg)
+	s := c.String()
+	if !strings.Contains(s, "x30") || !strings.Contains(s, "x35'") {
+		t.Errorf("large-space rendering = %q", s)
+	}
+}
+
+func TestTautologyWideSpace(t *testing.T) {
+	// 70 variables (multi-word cubes): x69 + x69' is a tautology.
+	f := NewCover(70)
+	c1 := New(70)
+	c1.Set(69, Pos)
+	c2 := New(70)
+	c2.Set(69, Neg)
+	f.Add(c1)
+	f.Add(c2)
+	if !f.IsTautology() {
+		t.Error("x69 + x69' should be a tautology")
+	}
+	f2 := NewCover(70)
+	f2.Add(c1)
+	if f2.IsTautology() {
+		t.Error("x69 alone is not a tautology")
+	}
+}
+
+func TestComplementWideSpace(t *testing.T) {
+	f := NewCover(70)
+	c := New(70)
+	c.Set(0, Pos)
+	c.Set(69, Neg)
+	f.Add(c) // f = x0 · x69'
+	g := f.Complement()
+	// g = x0' + x69
+	if g.NumCubes() != 2 {
+		t.Fatalf("complement = %v", g)
+	}
+	if !f.And(g).IsZero() {
+		t.Error("f ∧ f' should be 0")
+	}
+	if !f.Or(g).IsTautology() {
+		t.Error("f ∨ f' should be 1")
+	}
+}
+
+func TestContainsCoverEdges(t *testing.T) {
+	f := ParseCover(3, "a + b")
+	empty := NewCover(3)
+	if !f.ContainsCover(empty) {
+		t.Error("anything contains the empty cover")
+	}
+	if empty.ContainsCover(f) {
+		t.Error("empty cover contains nothing nonzero")
+	}
+	one := CoverOf(3, New(3))
+	if !one.ContainsCover(f) {
+		t.Error("1 contains everything")
+	}
+}
+
+func TestSupportAndHasVar(t *testing.T) {
+	f := ParseCover(5, "ab + d'")
+	sup := f.Support()
+	want := []int{0, 1, 3}
+	if len(sup) != len(want) {
+		t.Fatalf("support = %v", sup)
+	}
+	for i := range sup {
+		if sup[i] != want[i] {
+			t.Fatalf("support = %v, want %v", sup, want)
+		}
+	}
+	if !f.HasVar(3) || f.HasVar(2) {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestCanonOrdering(t *testing.T) {
+	cs := []Cube{Parse(3, "c"), Parse(3, "ab"), Parse(3, "a")}
+	Canon(cs)
+	// Determinism matters more than the exact order; twice the same.
+	cs2 := []Cube{Parse(3, "ab"), Parse(3, "a"), Parse(3, "c")}
+	Canon(cs2)
+	for i := range cs {
+		if !cs[i].Equal(cs2[i]) {
+			t.Fatalf("Canon not canonical: %v vs %v", cs, cs2)
+		}
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	c := Parse(3, "ab")
+	d := c.With(2, Pos)
+	if c.ContainsVar(2) {
+		t.Error("With mutated the receiver")
+	}
+	if !d.ContainsVar(2) {
+		t.Error("With did not set the variable")
+	}
+}
+
+func TestFromLits(t *testing.T) {
+	c := FromLits(4, map[int]Phase{0: Pos, 3: Neg})
+	if c.String() != "ad'" {
+		t.Errorf("FromLits = %v", c)
+	}
+}
+
+func TestEvalCover(t *testing.T) {
+	f := ParseCover(3, "ab + c'")
+	cases := []struct {
+		a, b, c bool
+		want    bool
+	}{
+		{true, true, true, true},
+		{true, false, true, false},
+		{false, false, false, true},
+		{false, true, true, false},
+	}
+	for _, tc := range cases {
+		if got := f.Eval([]bool{tc.a, tc.b, tc.c}); got != tc.want {
+			t.Errorf("f(%v,%v,%v) = %v", tc.a, tc.b, tc.c, got)
+		}
+	}
+}

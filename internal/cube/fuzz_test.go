@@ -1,0 +1,58 @@
+package cube
+
+import "testing"
+
+// FuzzCoverOps drives the Boolean-algebra identities on arbitrary packed
+// cube data: complement, containment and tautology must stay consistent
+// with evaluation.
+func FuzzCoverOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0x5555555555555555), uint64(0xAAAAAAAAAAAAAAAA), ^uint64(0))
+	f.Fuzz(func(t *testing.T, w1, w2, w3, w4 uint64) {
+		const n = 6
+		mask := uint64(1)<<(2*n) - 1
+		mk := func(w uint64) Cube {
+			c := New(n)
+			for v := 0; v < n; v++ {
+				switch w >> (2 * v) & 0b11 {
+				case 0b01:
+					c.Set(v, Neg)
+				case 0b10:
+					c.Set(v, Pos)
+				case 0b00:
+					// leave Free — Empty cubes are built only via Set(Empty)
+				}
+			}
+			return c
+		}
+		_ = mask
+		f1 := NewCover(n)
+		f1.Add(mk(w1))
+		f1.Add(mk(w2))
+		f2 := NewCover(n)
+		f2.Add(mk(w3))
+		f2.Add(mk(w4))
+
+		comp := f1.Complement()
+		and := f1.And(f2)
+		or := f1.Or(f2)
+		for m := 0; m < 1<<n; m++ {
+			assign := make([]bool, n)
+			for v := 0; v < n; v++ {
+				assign[v] = m>>v&1 == 1
+			}
+			v1, v2 := f1.Eval(assign), f2.Eval(assign)
+			if comp.Eval(assign) == v1 {
+				t.Fatal("complement disagrees with eval")
+			}
+			if and.Eval(assign) != (v1 && v2) || or.Eval(assign) != (v1 || v2) {
+				t.Fatal("and/or disagree with eval")
+			}
+		}
+		if f1.IsTautology() != f1.Complement().IsZero() && !f1.Complement().IsZero() {
+			// Tautology iff complement empty after SCC; Complement returns
+			// SCC'd covers, so this must match exactly.
+			t.Fatal("tautology/complement mismatch")
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package exp is the experiment harness that regenerates the paper's
+// Tables II–V: per-circuit factored-literal counts and CPU times for the
+// SIS algebraic baseline (`resub -d`) and the three RAR configurations
+// (basic, ext, ext+GDC), with totals and percentage improvement rows.
+// Every run is equivalence-checked against the prepared circuit.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/script"
+	"repro/internal/verify"
+)
+
+// Algorithms enumerated in table column order.
+var Algorithms = []string{"sis", "basic", "ext", "extgdc"}
+
+// AlgorithmLabel maps algorithm keys to the paper's column headers.
+var AlgorithmLabel = map[string]string{
+	"sis":    "sis resub -d",
+	"basic":  "basic",
+	"ext":    "ext.",
+	"extgdc": "ext. GDC",
+}
+
+// Cell is one measurement.
+type Cell struct {
+	Lits int
+	CPU  time.Duration
+	// Equivalent records the verification outcome (always expected true).
+	Equivalent bool
+}
+
+// Row is one benchmark line of a table.
+type Row struct {
+	Circuit string
+	Init    int
+	Cells   map[string]Cell
+}
+
+// Table is a full reproduction of one of the paper's tables.
+type Table struct {
+	Number int
+	Rows   []Row
+}
+
+// runAlgorithm applies one algorithm to a clone of the prepared circuit.
+func runAlgorithm(prepared *network.Network, alg string) Cell {
+	nw := prepared.Clone()
+	start := time.Now()
+	switch alg {
+	case "sis":
+		script.ResubSIS(nw)
+	case "basic":
+		script.ResubRAR(core.Basic)(nw)
+	case "ext":
+		script.ResubRAR(core.Extended)(nw)
+	case "extgdc":
+		script.ResubRAR(core.ExtendedGDC)(nw)
+	default:
+		panic("exp: unknown algorithm " + alg)
+	}
+	cpu := time.Since(start)
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(prepared, nw)}
+}
+
+// runAlgorithmFullFlow runs a whole flow with the algorithm's resub step
+// plugged in: script.algebraic for Table V, the extension script.boolean
+// flow for Table VI.
+func runAlgorithmFullFlow(raw *network.Network, alg string, table int) Cell {
+	nw := raw.Clone()
+	var resub script.Resub
+	switch alg {
+	case "sis":
+		resub = script.ResubSIS
+	case "basic":
+		resub = script.ResubRAR(core.Basic)
+	case "ext":
+		resub = script.ResubRAR(core.Extended)
+	case "extgdc":
+		resub = script.ResubRAR(core.ExtendedGDC)
+	default:
+		panic("exp: unknown algorithm " + alg)
+	}
+	start := time.Now()
+	if table == 6 {
+		script.Boolean(nw, resub)
+	} else {
+		script.Algebraic(nw, resub)
+	}
+	cpu := time.Since(start)
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(raw, nw)}
+}
+
+// Run reproduces one table (2–5) over the given circuits (nil = whole
+// suite). Circuits are processed in parallel (they are independent); the
+// row order and all literal counts are deterministic. CPU columns measure
+// wall time per algorithm and may inflate slightly under contention.
+func Run(table int, circuits []string) Table {
+	if circuits == nil {
+		circuits = bench.Names()
+	}
+	rows := make([]Row, len(circuits))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(circuits) {
+		workers = len(circuits)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i] = runRow(table, circuits[i])
+			}
+		}()
+	}
+	for i := range circuits {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return Table{Number: table, Rows: rows}
+}
+
+// runRow measures one benchmark under every algorithm.
+func runRow(table int, name string) Row {
+	raw := bench.Get(name)
+	row := Row{Circuit: name, Cells: make(map[string]Cell)}
+	if table == 5 || table == 6 {
+		row.Init = raw.FactoredLits()
+		for _, alg := range Algorithms {
+			row.Cells[alg] = runAlgorithmFullFlow(raw, alg, table)
+		}
+		return row
+	}
+	prepared := raw.Clone()
+	script.Prepare(table, prepared)
+	row.Init = prepared.FactoredLits()
+	for _, alg := range Algorithms {
+		row.Cells[alg] = runAlgorithm(prepared, alg)
+	}
+	return row
+}
+
+// Totals sums literal counts per algorithm, plus the initial total.
+func (t Table) Totals() (init int, totals map[string]int) {
+	totals = make(map[string]int)
+	for _, r := range t.Rows {
+		init += r.Init
+		for _, alg := range Algorithms {
+			totals[alg] += r.Cells[alg].Lits
+		}
+	}
+	return init, totals
+}
+
+// AllEquivalent reports whether every cell passed verification.
+func (t Table) AllEquivalent() bool {
+	for _, r := range t.Rows {
+		for _, alg := range Algorithms {
+			if !r.Cells[alg].Equivalent {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Print renders the table in the paper's layout.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table %s — factored-form literals and CPU seconds\n", roman(t.Number))
+	fmt.Fprintf(w, "%-10s %7s", "circuit", "init.")
+	for _, alg := range Algorithms {
+		fmt.Fprintf(w, " | %12s %8s", AlgorithmLabel[alg], "cpu")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10s %7d", r.Circuit, r.Init)
+		for _, alg := range Algorithms {
+			c := r.Cells[alg]
+			mark := ""
+			if !c.Equivalent {
+				mark = "!"
+			}
+			fmt.Fprintf(w, " | %11d%1s %8.2f", c.Lits, mark, c.CPU.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	init, totals := t.Totals()
+	fmt.Fprintf(w, "%-10s %7d", "total", init)
+	for _, alg := range Algorithms {
+		fmt.Fprintf(w, " | %12d %8s", totals[alg], "")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %7s", "improv.", "")
+	for _, alg := range Algorithms {
+		pct := 0.0
+		if init > 0 {
+			pct = 100 * float64(init-totals[alg]) / float64(init)
+		}
+		fmt.Fprintf(w, " | %11.1f%% %8s", pct, "")
+	}
+	fmt.Fprintln(w)
+	if !t.AllEquivalent() {
+		fmt.Fprintln(w, "WARNING: cells marked '!' failed equivalence checking")
+	}
+}
+
+func roman(n int) string {
+	switch n {
+	case 2:
+		return "II"
+	case 3:
+		return "III"
+	case 4:
+		return "IV"
+	case 5:
+		return "V"
+	case 6:
+		return "VI (extension)"
+	}
+	return fmt.Sprint(n)
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable2Small(t *testing.T) {
+	tab := Run(2, []string{"c17", "rnd_a"})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !tab.AllEquivalent() {
+		t.Fatal("equivalence failed")
+	}
+	for _, r := range tab.Rows {
+		if r.Init <= 0 {
+			t.Errorf("%s: init = %d", r.Circuit, r.Init)
+		}
+		for _, alg := range Algorithms {
+			c, ok := r.Cells[alg]
+			if !ok {
+				t.Fatalf("%s: missing %s", r.Circuit, alg)
+			}
+			if c.Lits <= 0 || c.Lits > r.Init {
+				t.Errorf("%s/%s: lits %d vs init %d", r.Circuit, alg, c.Lits, r.Init)
+			}
+		}
+	}
+}
+
+func TestRunTable5Small(t *testing.T) {
+	tab := Run(5, []string{"c17"})
+	if !tab.AllEquivalent() {
+		t.Fatal("equivalence failed")
+	}
+}
+
+func TestRARNotWorseThanBaseline(t *testing.T) {
+	// The paper's headline claim, in miniature: on the prepared circuits the
+	// RAR totals must not exceed the SIS baseline.
+	tab := Run(2, []string{"csel8", "rnd_a", "pla_a", "rnd_c"})
+	_, totals := tab.Totals()
+	for _, alg := range []string{"basic", "ext", "extgdc"} {
+		if totals[alg] > totals["sis"] {
+			t.Errorf("%s total %d exceeds sis %d", alg, totals[alg], totals["sis"])
+		}
+	}
+}
+
+func TestTablePrintFormat(t *testing.T) {
+	tab := Run(2, []string{"c17"})
+	var b strings.Builder
+	tab.Print(&b)
+	out := b.String()
+	for _, want := range []string{"Table II", "c17", "total", "improv."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(2, []string{"rnd_a", "pla_a"})
+	b := Run(2, []string{"rnd_a", "pla_a"})
+	for i := range a.Rows {
+		for _, alg := range Algorithms {
+			if a.Rows[i].Cells[alg].Lits != b.Rows[i].Cells[alg].Lits {
+				t.Errorf("%s/%s: nondeterministic lits %d vs %d",
+					a.Rows[i].Circuit, alg, a.Rows[i].Cells[alg].Lits, b.Rows[i].Cells[alg].Lits)
+			}
+		}
+	}
+}
+
+// TestPaperShapeHolds locks the headline reproduction claim: on the full
+// suite under Script A, every RAR configuration beats the SIS baseline and
+// ext+GDC is the strongest.
+func TestPaperShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite shape test skipped in -short mode")
+	}
+	tab := Run(2, nil)
+	if !tab.AllEquivalent() {
+		t.Fatal("equivalence failure")
+	}
+	init, totals := tab.Totals()
+	if init == 0 {
+		t.Fatal("empty table")
+	}
+	for _, alg := range []string{"basic", "ext", "extgdc"} {
+		if totals[alg] >= totals["sis"] {
+			t.Errorf("%s (%d) does not beat sis (%d)", alg, totals[alg], totals["sis"])
+		}
+	}
+	if totals["extgdc"] > totals["ext"] || totals["extgdc"] > totals["basic"] {
+		t.Errorf("ext+GDC (%d) should be strongest (ext %d, basic %d)",
+			totals["extgdc"], totals["ext"], totals["basic"])
+	}
+}

@@ -1,0 +1,289 @@
+package mini
+
+import (
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// ExactMinimize computes a minimum-cube cover of f (w.r.t. the don't-care
+// set dc) by the Quine–McCluskey procedure: all primes via iterated
+// consensus, then exact covering by branch and bound with essential-prime
+// extraction. Intended for small functions (the prime set is capped at
+// maxPrimes, 0 = 512); ok=false when the cap is exceeded. Ties between
+// equal-cube-count covers are broken by literal count.
+func ExactMinimize(f, dc cube.Cover, maxPrimes int) (cube.Cover, bool) {
+	if maxPrimes <= 0 {
+		maxPrimes = 512
+	}
+	n := f.NumVars()
+	if f.IsZero() {
+		return f.Clone(), true
+	}
+	fd := cube.NewCover(n)
+	fd.Cubes = append(fd.Cubes, f.Cubes...)
+	fd.Cubes = append(fd.Cubes, dc.Cubes...)
+	primes, ok := AllPrimes(fd, maxPrimes)
+	if !ok {
+		return cube.Cover{}, false
+	}
+	// Required coverage: the care onset, represented by the cubes of f
+	// split against the prime set. For exact covering we need atomic
+	// coverage units; use the minterms of small supports, or cube-level
+	// units refined against primes. We take the simple robust route:
+	// enumerate care minterms over the support (bounded).
+	sup := fd.Support()
+	if len(sup) > 14 {
+		return cube.Cover{}, false
+	}
+	var units []cube.Cube
+	var enum func(i int, c cube.Cube)
+	enum = func(i int, c cube.Cube) {
+		if i == len(sup) {
+			units = append(units, c)
+			return
+		}
+		enum(i+1, c.With(sup[i], cube.Pos))
+		enum(i+1, c.With(sup[i], cube.Neg))
+	}
+	enum(0, cube.New(n))
+	// Keep only care-onset minterms (in f, not covered by dc-only).
+	var care []cube.Cube
+	for _, m := range units {
+		inF := false
+		for _, c := range f.Cubes {
+			if c.Contains(m) {
+				inF = true
+				break
+			}
+		}
+		if !inF {
+			continue
+		}
+		inDC := false
+		for _, c := range dc.Cubes {
+			if c.Contains(m) {
+				inDC = true
+				break
+			}
+		}
+		if !inDC {
+			care = append(care, m)
+		}
+	}
+	if len(care) == 0 {
+		return cube.NewCover(n), true
+	}
+
+	// Covering matrix: for each care minterm, the primes covering it.
+	cover := make([][]int, len(care))
+	for i, m := range care {
+		for j, p := range primes {
+			if p.Contains(m) {
+				cover[i] = append(cover[i], j)
+			}
+		}
+		if len(cover[i]) == 0 {
+			return cube.Cover{}, false // should not happen
+		}
+	}
+
+	best := exactCover(cover, primes)
+	out := cube.NewCover(n)
+	for _, j := range best {
+		out.Cubes = append(out.Cubes, primes[j].Clone())
+	}
+	return out, true
+}
+
+// AllPrimes computes every prime implicant of f by iterated consensus with
+// absorption, capped at maxPrimes (ok=false when exceeded).
+func AllPrimes(f cube.Cover, maxPrimes int) ([]cube.Cube, bool) {
+	if maxPrimes <= 0 {
+		maxPrimes = 512
+	}
+	cubes := make([]cube.Cube, 0, len(f.Cubes))
+	for _, c := range f.Cubes {
+		cubes = append(cubes, c.Clone())
+	}
+	cubes = absorb(cubes)
+	for {
+		added := false
+		for i := 0; i < len(cubes) && len(cubes) <= maxPrimes; i++ {
+			for j := i + 1; j < len(cubes) && len(cubes) <= maxPrimes; j++ {
+				con, ok := consensus(cubes[i], cubes[j])
+				if !ok {
+					continue
+				}
+				covered := false
+				for _, c := range cubes {
+					if c.Contains(con) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					cubes = append(cubes, con)
+					added = true
+				}
+			}
+		}
+		if len(cubes) > maxPrimes {
+			return nil, false
+		}
+		cubes = absorb(cubes)
+		if !added {
+			return cubes, true
+		}
+	}
+}
+
+// consensus returns the consensus cube of a and b when they clash in
+// exactly one variable.
+func consensus(a, b cube.Cube) (cube.Cube, bool) {
+	if a.Distance(b) != 1 {
+		return cube.Cube{}, false
+	}
+	// Find the clashing variable.
+	n := a.NumVars()
+	clash := -1
+	for v := 0; v < n; v++ {
+		pa, pb := a.Get(v), b.Get(v)
+		if pa != cube.Free && pb != cube.Free && pa != pb &&
+			(pa == cube.Pos || pa == cube.Neg) && (pb == cube.Pos || pb == cube.Neg) {
+			clash = v
+			break
+		}
+	}
+	if clash < 0 {
+		return cube.Cube{}, false
+	}
+	out := a.Supercube(a) // clone of a
+	for v := 0; v < n; v++ {
+		pa, pb := a.Get(v), b.Get(v)
+		switch {
+		case v == clash:
+			out.Set(v, cube.Free)
+		case pa == cube.Free:
+			out.Set(v, pb)
+		case pb == cube.Free || pa == pb:
+			out.Set(v, pa)
+		default:
+			return cube.Cube{}, false
+		}
+	}
+	return out, true
+}
+
+// absorb removes cubes contained in another cube.
+func absorb(cs []cube.Cube) []cube.Cube {
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].NumLits() < cs[j].NumLits() })
+	var out []cube.Cube
+	for _, c := range cs {
+		kept := true
+		for _, k := range out {
+			if k.Contains(c) {
+				kept = false
+				break
+			}
+		}
+		if kept {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// exactCover finds a minimum set of primes covering all rows, by essential
+// extraction plus branch and bound (ties by literal count).
+func exactCover(rows [][]int, primes []cube.Cube) []int {
+	chosen := map[int]bool{}
+	// Essential primes: rows with a single coverer.
+	for changed := true; changed; {
+		changed = false
+		var remaining [][]int
+		for _, r := range rows {
+			if len(r) == 1 && !chosen[r[0]] {
+				chosen[r[0]] = true
+				changed = true
+			}
+			remaining = append(remaining, r)
+		}
+		if changed {
+			rows = filterRows(remaining, chosen)
+		}
+	}
+	rows = filterRows(rows, chosen)
+
+	bestExtra := []int(nil)
+	bestSize := 1 << 30
+	bestLits := 1 << 30
+	var bnb func(rows [][]int, picked []int)
+	bnb = func(rows [][]int, picked []int) {
+		if len(rows) == 0 {
+			lits := 0
+			for _, j := range picked {
+				lits += primes[j].NumLits()
+			}
+			if len(picked) < bestSize || (len(picked) == bestSize && lits < bestLits) {
+				bestSize = len(picked)
+				bestLits = lits
+				bestExtra = append([]int(nil), picked...)
+			}
+			return
+		}
+		if len(picked)+1 > bestSize {
+			return // bound
+		}
+		// Branch on the most constrained row.
+		minIdx := 0
+		for i, r := range rows {
+			if len(r) < len(rows[minIdx]) {
+				minIdx = i
+			}
+		}
+		for _, j := range rows[minIdx] {
+			next := rows[:0:0]
+			for _, r := range rows {
+				covered := false
+				for _, x := range r {
+					if x == j {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					next = append(next, r)
+				}
+			}
+			bnb(next, append(picked, j))
+		}
+	}
+	bnb(rows, nil)
+
+	out := make([]int, 0, len(chosen)+len(bestExtra))
+	for j := range chosen {
+		out = append(out, j)
+	}
+	out = append(out, bestExtra...)
+	sort.Ints(out)
+	return out
+}
+
+// filterRows drops rows already covered by the chosen primes.
+func filterRows(rows [][]int, chosen map[int]bool) [][]int {
+	var out [][]int
+	for _, r := range rows {
+		covered := false
+		for _, j := range r {
+			if chosen[j] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, r)
+		}
+	}
+	return out
+}

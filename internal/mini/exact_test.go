@@ -1,0 +1,115 @@
+package mini
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+)
+
+func TestAllPrimesXor(t *testing.T) {
+	// XOR2 has exactly its two minterm cubes as primes.
+	f := cube.ParseCover(2, "ab' + a'b")
+	primes, ok := AllPrimes(f, 0)
+	if !ok || len(primes) != 2 {
+		t.Errorf("primes = %v", primes)
+	}
+}
+
+func TestAllPrimesConsensus(t *testing.T) {
+	// ab + a'c has primes ab, a'c, bc.
+	f := cube.ParseCover(3, "ab + a'c")
+	primes, ok := AllPrimes(f, 0)
+	if !ok {
+		t.Fatal("capped")
+	}
+	if len(primes) != 3 {
+		t.Errorf("primes = %v, want 3", primes)
+	}
+	found := false
+	for _, p := range primes {
+		if p.String() == "bc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("consensus prime bc missing")
+	}
+}
+
+func TestExactMinimizeKnown(t *testing.T) {
+	cases := []struct {
+		n     int
+		f     string
+		cubes int
+	}{
+		{2, "ab + ab' + a'b", 2},           // a + b
+		{3, "ab + a'c + bc", 2},            // consensus cube removable
+		{3, "abc + abc' + ab'c + a'bc", 3}, // classic 3-cube minimum
+	}
+	for _, tc := range cases {
+		f := cube.ParseCover(tc.n, tc.f)
+		g, ok := ExactMinimize(f, cube.NewCover(tc.n), 0)
+		if !ok {
+			t.Fatalf("%q: capped", tc.f)
+		}
+		if !g.Equivalent(f) {
+			t.Errorf("%q: function changed: %v", tc.f, g)
+		}
+		if g.NumCubes() != tc.cubes {
+			t.Errorf("%q: %d cubes (%v), want %d", tc.f, g.NumCubes(), g, tc.cubes)
+		}
+	}
+}
+
+func TestExactMinimizeWithDC(t *testing.T) {
+	f := cube.ParseCover(2, "ab")
+	dc := cube.ParseCover(2, "ab'")
+	g, ok := ExactMinimize(f, dc, 0)
+	if !ok {
+		t.Fatal("capped")
+	}
+	if g.NumCubes() != 1 || g.Cubes[0].String() != "a" {
+		t.Errorf("g = %v, want a", g)
+	}
+}
+
+func TestExactNeverWorseThanHeuristic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n = 5
+	prop := func(seed int64) bool {
+		r.Seed(seed)
+		f := randomCover(r, n, 6)
+		if f.IsZero() {
+			return true
+		}
+		exact, ok := ExactMinimize(f, cube.NewCover(n), 0)
+		if !ok {
+			return true // cap hit; fine
+		}
+		if tt(exact, n) != tt(f, n) {
+			return false
+		}
+		heur := Minimize(f, Options{})
+		return exact.NumCubes() <= heur.NumCubes()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactMinimizeTautology(t *testing.T) {
+	f := cube.ParseCover(2, "a + a'")
+	g, ok := ExactMinimize(f, cube.NewCover(2), 0)
+	if !ok || g.NumCubes() != 1 || !g.Cubes[0].IsUniverse() {
+		t.Errorf("g = %v", g)
+	}
+}
+
+func TestExactMinimizeZero(t *testing.T) {
+	g, ok := ExactMinimize(cube.NewCover(3), cube.NewCover(3), 0)
+	if !ok || !g.IsZero() {
+		t.Errorf("g = %v", g)
+	}
+}

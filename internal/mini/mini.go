@@ -1,0 +1,209 @@
+// Package mini is a self-contained Espresso-style two-level minimizer. It
+// implements the classic EXPAND / IRREDUNDANT / REDUCE loop on positional
+// cube covers, optionally with a don't-care set, and is the engine behind
+// the SIS-like `simplify` command used to prepare circuits for
+// resubstitution experiments.
+//
+// It is heuristic (like Espresso): the result is a prime and irredundant
+// cover of the same function, not necessarily a minimum one.
+package mini
+
+import "repro/internal/cube"
+
+// Options configure a minimization run.
+type Options struct {
+	// DC is the don't-care cover; may be the zero Cover for none.
+	DC cube.Cover
+	// MaxPasses bounds the expand/irredundant/reduce loop; 0 means default.
+	MaxPasses int
+	// SingleExpand stops after one expand+irredundant pass (faster, used by
+	// the inner loops of iterative algorithms).
+	SingleExpand bool
+}
+
+// Minimize returns a prime, irredundant cover of f (w.r.t. f ∪ DC). The
+// input is not modified.
+func Minimize(f cube.Cover, opt Options) cube.Cover {
+	if f.IsZero() {
+		return f.Clone()
+	}
+	dc := opt.DC
+	if dc.NumVars() == 0 && f.NumVars() != 0 {
+		dc = cube.NewCover(f.NumVars())
+	}
+	passes := opt.MaxPasses
+	if passes == 0 {
+		passes = 4
+	}
+	cur := f.SCC()
+	best := cur
+	bestCost := cost(best)
+	for p := 0; p < passes; p++ {
+		cur = Expand(cur, dc)
+		cur = Irredundant(cur, dc)
+		c := cost(cur)
+		if c < bestCost {
+			best, bestCost = cur, c
+		}
+		if opt.SingleExpand {
+			break
+		}
+		reduced := Reduce(cur, dc)
+		if coversEqual(reduced, cur) {
+			break
+		}
+		cur = reduced
+	}
+	return best
+}
+
+// cost orders covers by cube count then literal count (the SIS objective).
+func cost(f cube.Cover) int { return f.NumCubes()*1024 + f.NumLits() }
+
+func coversEqual(a, b cube.Cover) bool {
+	if a.NumCubes() != b.NumCubes() || a.NumLits() != b.NumLits() {
+		return false
+	}
+	ac := append([]cube.Cube(nil), a.Cubes...)
+	bc := append([]cube.Cube(nil), b.Cubes...)
+	cube.Canon(ac)
+	cube.Canon(bc)
+	for i := range ac {
+		if !ac[i].Equal(bc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expand enlarges each cube to a prime of f ∪ DC by removing literals one at
+// a time while the enlarged cube stays contained in the function, then drops
+// cubes covered by previously expanded ones.
+func Expand(f, dc cube.Cover) cube.Cover {
+	n := f.NumVars()
+	fd := cube.NewCover(n)
+	fd.Cubes = append(fd.Cubes, f.Cubes...)
+	fd.Cubes = append(fd.Cubes, dc.Cubes...)
+
+	// Expand biggest cubes first so they absorb the most.
+	cs := append([]cube.Cube(nil), f.Cubes...)
+	sortByLits(cs)
+	out := cube.NewCover(n)
+	for _, c := range cs {
+		// Already covered by an expanded prime?
+		covered := false
+		for _, k := range out.Cubes {
+			if k.Contains(c) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		e := expandCube(c, fd)
+		out.Cubes = append(out.Cubes, e)
+	}
+	return out.SCC()
+}
+
+// expandCube removes literals from c while containment in fd holds.
+func expandCube(c cube.Cube, fd cube.Cover) cube.Cube {
+	e := c.Clone()
+	for _, v := range c.Lits() {
+		t := e.With(v, cube.Free)
+		if fd.ContainsCube(t) {
+			e = t
+		}
+	}
+	return e
+}
+
+// Irredundant removes cubes that are covered by the union of the remaining
+// cubes and the don't-care set, processing largest cubes last so the
+// relatively-essential ones survive.
+func Irredundant(f, dc cube.Cover) cube.Cover {
+	n := f.NumVars()
+	cs := append([]cube.Cube(nil), f.Cubes...)
+	sortByLits(cs) // fewest literals (largest cubes) first => removed last below
+	// Try removing in reverse: smallest cubes first.
+	for i := len(cs) - 1; i >= 0; i-- {
+		rest := cube.NewCover(n)
+		for j, k := range cs {
+			if j != i {
+				rest.Cubes = append(rest.Cubes, k)
+			}
+		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		if rest.ContainsCube(cs[i]) {
+			cs = append(cs[:i], cs[i+1:]...)
+		}
+	}
+	out := cube.NewCover(n)
+	out.Cubes = cs
+	return out
+}
+
+// Reduce shrinks each cube to the smallest cube that still covers the
+// minterms only it covers (its essential part), enabling the next Expand to
+// escape local minima.
+func Reduce(f, dc cube.Cover) cube.Cover {
+	n := f.NumVars()
+	out := cube.NewCover(n)
+	cs := append([]cube.Cube(nil), f.Cubes...)
+	// Process smallest last (classic heuristic: reduce large cubes first).
+	sortByLits(cs)
+	for i, c := range cs {
+		rest := cube.NewCover(n)
+		for j := range cs {
+			if j == i {
+				continue
+			}
+			// Use already-reduced versions for earlier cubes.
+			if j < len(out.Cubes) {
+				rest.Cubes = append(rest.Cubes, out.Cubes[j])
+			} else {
+				rest.Cubes = append(rest.Cubes, cs[j])
+			}
+		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		out.Cubes = append(out.Cubes, reduceCube(c, rest))
+	}
+	return out
+}
+
+// reduceCube returns the supercube of the part of c not covered by rest,
+// which is the maximally reduced replacement for c.
+func reduceCube(c cube.Cube, rest cube.Cover) cube.Cube {
+	// Complement of rest cofactored by c, intersected with c, supercubed.
+	rc := rest.Cofactor(c).Complement()
+	if rc.IsZero() {
+		// c is fully covered by the others; keep it — Irredundant owns
+		// removal decisions.
+		return c
+	}
+	n := c.NumVars()
+	sup := rc.Cubes[0].Clone()
+	for _, k := range rc.Cubes[1:] {
+		sup = sup.Supercube(k)
+	}
+	_ = n
+	return sup.And(c)
+}
+
+func sortByLits(cs []cube.Cube) {
+	// insertion sort: covers are small and this keeps determinism simple.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b cube.Cube) bool {
+	al, bl := a.NumLits(), b.NumLits()
+	if al != bl {
+		return al < bl
+	}
+	return cube.SortLess(a, b)
+}

@@ -1,0 +1,68 @@
+package mini
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func TestSingleExpandOption(t *testing.T) {
+	f := cube.ParseCover(3, "abc + abc' + ab'c")
+	g := Minimize(f, Options{SingleExpand: true})
+	if tt(f, 3) != tt(g, 3) {
+		t.Fatal("function changed")
+	}
+	if g.NumCubes() > f.NumCubes() {
+		t.Error("single expand grew the cover")
+	}
+}
+
+func TestMaxPassesBound(t *testing.T) {
+	f := cube.ParseCover(4, "ab + cd + abc + a'bcd")
+	g1 := Minimize(f, Options{MaxPasses: 1})
+	g4 := Minimize(f, Options{MaxPasses: 4})
+	if tt(g1, 4) != tt(f, 4) || tt(g4, 4) != tt(f, 4) {
+		t.Fatal("function changed")
+	}
+	if g4.NumLits() > g1.NumLits() {
+		t.Error("more passes should never be worse")
+	}
+}
+
+func TestExpandAgainstDontCare(t *testing.T) {
+	// f = abc with dc covering everything else in the b,c plane at a=1:
+	// expands to a.
+	f := cube.ParseCover(3, "abc")
+	dc := cube.ParseCover(3, "ab'c + abc' + ab'c'")
+	g := Expand(f, dc)
+	if g.NumCubes() != 1 || g.Cubes[0].String() != "a" {
+		t.Errorf("expand = %v, want a", g)
+	}
+}
+
+func TestIrredundantKeepsEssential(t *testing.T) {
+	// Both cubes essential: nothing removed.
+	f := cube.ParseCover(2, "ab + a'b'")
+	g := Irredundant(f, cube.NewCover(2))
+	if g.NumCubes() != 2 {
+		t.Errorf("essential cube removed: %v", g)
+	}
+}
+
+func TestMinimizeSingleCube(t *testing.T) {
+	f := cube.ParseCover(4, "ab'cd")
+	g := Minimize(f, Options{})
+	if g.NumCubes() != 1 || g.NumLits() != 4 {
+		t.Errorf("minimize single cube = %v", g)
+	}
+}
+
+func TestMinimizeFullDCIsFree(t *testing.T) {
+	// With DC = complement of f, the minimizer may expand up to tautology.
+	f := cube.ParseCover(2, "ab")
+	dc := f.Complement()
+	g := Minimize(f, Options{DC: dc})
+	if g.NumCubes() != 1 || !g.Cubes[0].IsUniverse() {
+		t.Errorf("expected expansion to 1, got %v", g)
+	}
+}

@@ -1,0 +1,183 @@
+package mini
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+)
+
+func tt(f cube.Cover, n int) uint64 {
+	var out uint64
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n)
+		for v := 0; v < n; v++ {
+			assign[v] = m>>v&1 == 1
+		}
+		if f.Eval(assign) {
+			out |= 1 << m
+		}
+	}
+	return out
+}
+
+func TestMinimizeKeepsFunction(t *testing.T) {
+	cases := []struct {
+		n int
+		s string
+	}{
+		{3, "ab + ab' + a'b"},
+		{3, "abc + abc' + ab'c + ab'c' + a'bc"},
+		{4, "ab + cd + abc + a'bcd"},
+		{2, "ab + a'b + ab' + a'b'"},
+		{3, "a'b'c' + a'b'c + a'bc + abc"},
+	}
+	for _, tc := range cases {
+		f := cube.ParseCover(tc.n, tc.s)
+		g := Minimize(f, Options{})
+		if tt(f, tc.n) != tt(g, tc.n) {
+			t.Errorf("Minimize(%q) changed function: got %v", tc.s, g)
+		}
+		if g.NumCubes() > f.NumCubes() || g.NumLits() > f.NumLits() {
+			t.Errorf("Minimize(%q) grew: %v", tc.s, g)
+		}
+	}
+}
+
+func TestMinimizeClassicResults(t *testing.T) {
+	// ab + ab' = a
+	g := Minimize(cube.ParseCover(2, "ab + ab'"), Options{})
+	if g.String() != "a" {
+		t.Errorf("ab+ab' -> %v, want a", g)
+	}
+	// full tautology collapses to 1
+	g = Minimize(cube.ParseCover(2, "ab + ab' + a'b + a'b'"), Options{})
+	if g.NumCubes() != 1 || !g.Cubes[0].IsUniverse() {
+		t.Errorf("tautology -> %v, want 1", g)
+	}
+	// consensus: ab + a'c + bc -> ab + a'c (bc redundant)
+	g = Minimize(cube.ParseCover(3, "ab + a'c + bc"), Options{})
+	if g.NumCubes() != 2 {
+		t.Errorf("ab+a'c+bc -> %v, want 2 cubes", g)
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// f = ab, dc = ab' : minimizer should expand to a.
+	f := cube.ParseCover(2, "ab")
+	dc := cube.ParseCover(2, "ab'")
+	g := Minimize(f, Options{DC: dc})
+	if g.String() != "a" {
+		t.Errorf("ab with dc ab' -> %v, want a", g)
+	}
+	// Result must agree with f outside DC.
+	n := 2
+	fTT, gTT, dTT := tt(f, n), tt(g, n), tt(dc, n)
+	if (fTT^gTT)&^dTT != 0 {
+		t.Error("minimized cover differs outside don't-care set")
+	}
+}
+
+func TestExpandPrimes(t *testing.T) {
+	f := cube.ParseCover(3, "abc + abc'")
+	g := Expand(f, cube.NewCover(3))
+	if g.NumCubes() != 1 || g.Cubes[0].String() != "ab" {
+		t.Errorf("expand(abc+abc') = %v, want ab", g)
+	}
+}
+
+func TestIrredundant(t *testing.T) {
+	f := cube.ParseCover(3, "ab + a'c + bc")
+	g := Irredundant(f, cube.NewCover(3))
+	if g.NumCubes() != 2 {
+		t.Errorf("irredundant left %d cubes: %v", g.NumCubes(), g)
+	}
+	if tt(f, 3) != tt(g, 3) {
+		t.Error("irredundant changed function")
+	}
+}
+
+func TestReduceKeepsFunction(t *testing.T) {
+	f := cube.ParseCover(3, "ab + a'c")
+	g := Reduce(f, cube.NewCover(3))
+	if tt(f, 3) != tt(g, 3) {
+		t.Errorf("reduce changed function: %v", g)
+	}
+}
+
+func randomCover(r *rand.Rand, n, maxCubes int) cube.Cover {
+	f := cube.NewCover(n)
+	k := r.Intn(maxCubes) + 1
+	for i := 0; i < k; i++ {
+		c := cube.New(n)
+		for v := 0; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c.Set(v, cube.Pos)
+			case 1:
+				c.Set(v, cube.Neg)
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+func TestPropMinimizePreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 5
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		cov := randomCover(r, n, 8)
+		m := Minimize(cov, Options{})
+		return tt(cov, n) == tt(m, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinimizeWithDC(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	const n = 5
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		cov := randomCover(r, n, 6)
+		dc := randomCover(r, n, 3)
+		m := Minimize(cov, Options{DC: dc})
+		// must match cov outside dc
+		return (tt(cov, n)^tt(m, n))&^tt(dc, n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinimizeIdempotentCost(t *testing.T) {
+	// Minimizing twice never increases cost.
+	r := rand.New(rand.NewSource(13))
+	const n = 5
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		cov := randomCover(r, n, 8)
+		m1 := Minimize(cov, Options{})
+		m2 := Minimize(m1, Options{})
+		return m2.NumCubes() <= m1.NumCubes() && m2.NumLits() <= m1.NumLits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeZeroAndOne(t *testing.T) {
+	z := Minimize(cube.NewCover(3), Options{})
+	if !z.IsZero() {
+		t.Error("minimize(0) != 0")
+	}
+	one := cube.CoverOf(3, cube.New(3))
+	g := Minimize(one, Options{})
+	if g.NumCubes() != 1 || !g.Cubes[0].IsUniverse() {
+		t.Errorf("minimize(1) = %v", g)
+	}
+}

@@ -1,0 +1,357 @@
+// Package netlist provides the gate-level view the paper's RAR machinery
+// operates on. Every network node is decomposed into the canonical
+// two-level structure the paper assumes: one AND gate per cube (possibly
+// with a single input) feeding one OR gate per node (possibly with a single
+// input), with cached inverters for complemented literals. The netlist is
+// mutable — the division algorithm adds the "bold AND" gate and deletes
+// pins proved redundant — and supports bit-parallel evaluation for tests.
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// Kind enumerates gate types.
+type Kind uint8
+
+const (
+	// Input is a primary input (no fanins).
+	Input Kind = iota
+	// And outputs the conjunction of its fanins (1 when it has none).
+	And
+	// Or outputs the disjunction of its fanins (0 when it has none).
+	Or
+	// Not inverts its single fanin.
+	Not
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	default:
+		return "not"
+	}
+}
+
+type gate struct {
+	kind    Kind
+	fanins  []int
+	fanouts []int
+	name    string // signal name for node outputs and PIs, else ""
+}
+
+// Netlist is a mutable gate-level circuit.
+type Netlist struct {
+	gates []gate
+	// Signal maps a network signal name to the gate producing it.
+	Signal map[string]int
+	// POs are the output gate ids, parallel to PONames.
+	POs     []int
+	PONames []string
+	// inverter cache: gate id -> NOT gate id
+	inv map[int]int
+	// isPO marks gates that are directly observable (primary outputs); the
+	// dominator walk must stop there.
+	isPO map[int]bool
+}
+
+// NodeGates records the two-level structure built for one network node.
+type NodeGates struct {
+	// Out is the node's OR gate.
+	Out int
+	// Cubes holds one AND gate per cube, in cover order.
+	Cubes []int
+	// CubeLits[i][j] is the pin index on Cubes[i] carrying the j-th literal
+	// (in ascending variable order) of cube i.
+	CubeLits [][]int
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{Signal: make(map[string]int), inv: make(map[int]int), isPO: make(map[int]bool)}
+}
+
+// MarkPO flags gate g as directly observable.
+func (nl *Netlist) MarkPO(g int) { nl.isPO[g] = true }
+
+// IsPO reports whether gate g is directly observable.
+func (nl *Netlist) IsPO(g int) bool { return nl.isPO[g] }
+
+// NumGates returns the number of gates ever created (ids are dense).
+func (nl *Netlist) NumGates() int { return len(nl.gates) }
+
+// KindOf returns gate g's kind.
+func (nl *Netlist) KindOf(g int) Kind { return nl.gates[g].kind }
+
+// NameOf returns the signal name attached to gate g ("" if none).
+func (nl *Netlist) NameOf(g int) string { return nl.gates[g].name }
+
+// Fanins returns gate g's fanin gate ids (do not modify).
+func (nl *Netlist) Fanins(g int) []int { return nl.gates[g].fanins }
+
+// Fanouts returns gate g's fanout gate ids (do not modify).
+func (nl *Netlist) Fanouts(g int) []int { return nl.gates[g].fanouts }
+
+// AddGate creates a gate and wires its fanins, returning its id.
+func (nl *Netlist) AddGate(k Kind, fanins ...int) int {
+	id := len(nl.gates)
+	nl.gates = append(nl.gates, gate{kind: k, fanins: append([]int(nil), fanins...)})
+	for _, f := range fanins {
+		nl.gates[f].fanouts = append(nl.gates[f].fanouts, id)
+	}
+	return id
+}
+
+// AddInput creates a primary-input gate bound to a signal name.
+func (nl *Netlist) AddInput(name string) int {
+	id := nl.AddGate(Input)
+	nl.gates[id].name = name
+	nl.Signal[name] = id
+	return id
+}
+
+// Invert returns a NOT gate over g, reusing a cached one when present.
+func (nl *Netlist) Invert(g int) int {
+	if n, ok := nl.inv[g]; ok {
+		return n
+	}
+	n := nl.AddGate(Not, g)
+	nl.inv[g] = n
+	return n
+}
+
+// RemovePin deletes fanin pin idx of gate g (the RAR wire removal).
+func (nl *Netlist) RemovePin(g, idx int) {
+	f := nl.gates[g].fanins[idx]
+	nl.gates[g].fanins = append(nl.gates[g].fanins[:idx], nl.gates[g].fanins[idx+1:]...)
+	// Remove one fanout entry of f pointing at g.
+	fo := nl.gates[f].fanouts
+	for i, x := range fo {
+		if x == g {
+			nl.gates[f].fanouts = append(fo[:i], fo[i+1:]...)
+			break
+		}
+	}
+}
+
+// AddPin appends src as a new fanin of gate g, returning its pin index.
+func (nl *Netlist) AddPin(g, src int) int {
+	nl.gates[g].fanins = append(nl.gates[g].fanins, src)
+	nl.gates[src].fanouts = append(nl.gates[src].fanouts, g)
+	return len(nl.gates[g].fanins) - 1
+}
+
+// Builder state tying a netlist to the network it came from.
+type Build struct {
+	NL *Netlist
+	// Nodes maps node name to its two-level structure.
+	Nodes map[string]*NodeGates
+}
+
+// FromNetwork decomposes the whole network. Node order follows TopoOrder,
+// so every fanin gate exists before use.
+func FromNetwork(nw *network.Network) *Build {
+	nl := New()
+	b := &Build{NL: nl, Nodes: make(map[string]*NodeGates)}
+	for _, pi := range nw.PIs() {
+		nl.AddInput(pi)
+	}
+	for _, name := range nw.TopoOrder() {
+		n := nw.Node(name)
+		ng := b.buildNode(n)
+		nl.gates[ng.Out].name = name
+		nl.Signal[name] = ng.Out
+		b.Nodes[name] = ng
+	}
+	for _, po := range nw.POs() {
+		g, ok := nl.Signal[po]
+		if !ok {
+			panic(fmt.Sprintf("netlist: PO %q has no driver", po))
+		}
+		nl.POs = append(nl.POs, g)
+		nl.PONames = append(nl.PONames, po)
+		nl.isPO[g] = true
+	}
+	return b
+}
+
+// buildNode creates the canonical AND-OR structure for one node.
+func (b *Build) buildNode(n *network.Node) *NodeGates {
+	nl := b.NL
+	ng := &NodeGates{}
+	for _, c := range n.Cover.Cubes {
+		lits := c.Lits()
+		pins := make([]int, 0, len(lits))
+		var fan []int
+		for _, v := range lits {
+			src := nl.Signal[n.Fanins[v]]
+			if c.Get(v) == cube.Neg {
+				src = nl.Invert(src)
+			}
+			fan = append(fan, src)
+		}
+		g := nl.AddGate(And, fan...)
+		for j := range lits {
+			pins = append(pins, j)
+		}
+		ng.Cubes = append(ng.Cubes, g)
+		ng.CubeLits = append(ng.CubeLits, pins)
+	}
+	ng.Out = nl.AddGate(Or, ng.Cubes...)
+	return ng
+}
+
+// Eval evaluates the netlist bit-parallel: in maps input gate names to
+// 64-pattern words; the result maps every gate id to its word. Gates form a
+// DAG by construction (fanins have smaller... not guaranteed after edits),
+// so evaluation is memoized recursively.
+func (nl *Netlist) Eval(in map[string]uint64) []uint64 {
+	val := make([]uint64, len(nl.gates))
+	done := make([]bool, len(nl.gates))
+	var eval func(int) uint64
+	eval = func(g int) uint64 {
+		if done[g] {
+			return val[g]
+		}
+		done[g] = true // DAG: safe to mark before recursion
+		gt := &nl.gates[g]
+		var w uint64
+		switch gt.kind {
+		case Input:
+			w = in[gt.name]
+		case And:
+			w = ^uint64(0)
+			for _, f := range gt.fanins {
+				w &= eval(f)
+			}
+		case Or:
+			w = 0
+			for _, f := range gt.fanins {
+				w |= eval(f)
+			}
+		case Not:
+			w = ^eval(gt.fanins[0])
+		}
+		val[g] = w
+		return w
+	}
+	for g := range nl.gates {
+		eval(g)
+	}
+	return val
+}
+
+// EvalWithFault evaluates the netlist like Eval but with fanin pin of
+// gate faultGate at index faultPin stuck at the given value (bit-parallel:
+// stuck=true reads all-ones). Used by fault simulation and by the tests
+// that cross-check untestability proofs.
+func (nl *Netlist) EvalWithFault(in map[string]uint64, faultGate, faultPin int, stuck bool) []uint64 {
+	val := make([]uint64, len(nl.gates))
+	done := make([]bool, len(nl.gates))
+	var sv uint64
+	if stuck {
+		sv = ^uint64(0)
+	}
+	var eval func(int) uint64
+	eval = func(g int) uint64 {
+		if done[g] {
+			return val[g]
+		}
+		done[g] = true
+		gt := &nl.gates[g]
+		pin := func(i int) uint64 {
+			if g == faultGate && i == faultPin {
+				return sv
+			}
+			return eval(gt.fanins[i])
+		}
+		var w uint64
+		switch gt.kind {
+		case Input:
+			w = in[gt.name]
+		case And:
+			w = ^uint64(0)
+			for i := range gt.fanins {
+				w &= pin(i)
+			}
+		case Or:
+			w = 0
+			for i := range gt.fanins {
+				w |= pin(i)
+			}
+		case Not:
+			w = ^pin(0)
+		}
+		val[g] = w
+		return w
+	}
+	for g := range nl.gates {
+		eval(g)
+	}
+	return val
+}
+
+// TFO returns the set of gates in the transitive fanout of g, including g.
+func (nl *Netlist) TFO(g int) map[int]bool {
+	out := map[int]bool{g: true}
+	stack := []int{g}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range nl.gates[x].fanouts {
+			if !out[fo] {
+				out[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return out
+}
+
+// TFI returns the set of gates in the transitive fanin of g, including g.
+func (nl *Netlist) TFI(g int) map[int]bool {
+	out := map[int]bool{g: true}
+	stack := []int{g}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fi := range nl.gates[x].fanins {
+			if !out[fi] {
+				out[fi] = true
+				stack = append(stack, fi)
+			}
+		}
+	}
+	return out
+}
+
+// Dominators walks the fanout-free chain from gate g toward the outputs:
+// while the current gate has exactly one fanout and is not itself a primary
+// output, that fanout is a dominator. The walk stops at multi-fanout stems
+// and at PO gates — a PO is directly observable, so no propagation
+// requirement beyond it is sound. The returned list starts with the first
+// gate after g.
+func (nl *Netlist) Dominators(g int) []int {
+	var out []int
+	cur := g
+	for {
+		if nl.isPO[cur] {
+			return out
+		}
+		fo := nl.gates[cur].fanouts
+		if len(fo) != 1 {
+			return out
+		}
+		cur = fo[0]
+		out = append(out, cur)
+	}
+}

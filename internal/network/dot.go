@@ -1,0 +1,43 @@
+package network
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the network as a Graphviz digraph: primary inputs as
+// plaintext sources, nodes as boxes labelled with their SOP, primary
+// outputs marked with a double border.
+func (nw *Network) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", nw.Name)
+	for _, pi := range nw.pis {
+		fmt.Fprintf(&b, "  %q [shape=plaintext];\n", pi)
+	}
+	isPO := make(map[string]bool, len(nw.pos))
+	for _, po := range nw.pos {
+		isPO[po] = true
+	}
+	for _, name := range nw.TopoOrder() {
+		n := nw.nodes[name]
+		shape := "box"
+		if isPO[name] {
+			shape = "box, peripheries=2"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=\"%s\\n%s\"];\n",
+			name, shape, name, escapeDot(n.Render()))
+		for _, f := range n.Fanins {
+			fmt.Fprintf(&b, "  %q -> %q;\n", f, name)
+		}
+	}
+	fmt.Fprintln(&b, "}")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,324 @@
+package network
+
+import (
+	"repro/internal/cube"
+)
+
+// Compose substitutes the function of node inner into node outer, removing
+// inner from outer's fanins. The composition is Boolean-exact: positive
+// literals of inner are replaced by inner's cover, negative literals by its
+// complement. Returns false if outer does not reference inner.
+func (nw *Network) Compose(outer, inner string) bool {
+	o := nw.nodes[outer]
+	in := nw.nodes[inner]
+	if o == nil || in == nil {
+		return false
+	}
+	vi := o.FaninIndex(inner)
+	if vi < 0 {
+		return false
+	}
+	// Build the merged fanin list: outer's fanins minus inner, plus inner's
+	// fanins not already present.
+	newFanins := make([]string, 0, len(o.Fanins)+len(in.Fanins))
+	for _, f := range o.Fanins {
+		if f != inner {
+			newFanins = append(newFanins, f)
+		}
+	}
+	pos := make(map[string]int, len(newFanins))
+	for i, f := range newFanins {
+		pos[f] = i
+	}
+	for _, f := range in.Fanins {
+		if _, ok := pos[f]; !ok {
+			pos[f] = len(newFanins)
+			newFanins = append(newFanins, f)
+		}
+	}
+	n := len(newFanins)
+
+	// Remap inner's cover into the merged space.
+	innerCov := remap(in.Cover, in.Fanins, pos, n)
+	innerNeg := innerCov.Complement()
+
+	out := cube.NewCover(n)
+	for _, c := range o.Cover.Cubes {
+		// Translate c (excluding the inner literal) into the merged space.
+		base := cube.New(n)
+		ph := c.Get(vi)
+		for _, v := range c.Lits() {
+			if v == vi {
+				continue
+			}
+			base.Set(pos[o.Fanins[v]], c.Get(v))
+		}
+		switch ph {
+		case cube.Pos, cube.Neg:
+			sub := innerCov
+			if ph == cube.Neg {
+				sub = innerNeg
+			}
+			for _, sc := range sub.Cubes {
+				p := base.And(sc)
+				if !p.IsEmpty() {
+					out.Cubes = append(out.Cubes, p)
+				}
+			}
+		default:
+			out.Cubes = append(out.Cubes, base)
+		}
+	}
+	o.Fanins = newFanins
+	o.Cover = out.SCC()
+	nw.NormalizeNode(outer)
+	return true
+}
+
+// remap translates a cover from a fanin-name list into a destination space
+// given by pos (name → new index) with n variables.
+func remap(f cube.Cover, fanins []string, pos map[string]int, n int) cube.Cover {
+	out := cube.NewCover(n)
+	for _, c := range f.Cubes {
+		k := cube.New(n)
+		for _, v := range c.Lits() {
+			k.Set(pos[fanins[v]], c.Get(v))
+		}
+		out.Cubes = append(out.Cubes, k)
+	}
+	return out
+}
+
+// RemapCover is the exported form of remap for other packages: it moves f
+// from the variable space named by fanins into the space named by dst.
+func RemapCover(f cube.Cover, fanins []string, dst []string) cube.Cover {
+	pos := make(map[string]int, len(dst))
+	for i, s := range dst {
+		pos[s] = i
+	}
+	for _, s := range fanins {
+		if _, ok := pos[s]; !ok {
+			panic("network: RemapCover destination missing signal " + s)
+		}
+	}
+	return remap(f, fanins, pos, len(dst))
+}
+
+// Sweep removes nodes not reachable from any primary output, propagates
+// constant nodes, and collapses single-literal (buffer/inverter) nodes into
+// their fanouts. Repeats to a fixed point; returns the number of nodes
+// removed.
+func (nw *Network) Sweep() int {
+	removed := 0
+	for {
+		changed := false
+
+		// 1. Constant and buffer/inverter propagation.
+		for _, n := range nw.Nodes() {
+			if isConstCover(n.Cover) || isSingleLiteral(n.Cover) {
+				if nw.propagateSimple(n) {
+					changed = true
+				}
+			}
+		}
+
+		// 2. Dead-node elimination.
+		live := make(map[string]bool)
+		var mark func(string)
+		mark = func(s string) {
+			if live[s] || nw.isPI(s) {
+				return
+			}
+			live[s] = true
+			if n := nw.nodes[s]; n != nil {
+				for _, f := range n.Fanins {
+					mark(f)
+				}
+			}
+		}
+		for _, po := range nw.pos {
+			mark(po)
+		}
+		for _, n := range nw.Nodes() {
+			if !live[n.Name] {
+				nw.RemoveNode(n.Name)
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+func isConstCover(f cube.Cover) bool {
+	return f.IsZero() || (f.NumCubes() == 1 && f.Cubes[0].IsUniverse())
+}
+
+func isSingleLiteral(f cube.Cover) bool {
+	return f.NumCubes() == 1 && f.Cubes[0].NumLits() == 1
+}
+
+// propagateSimple folds a constant or positive-buffer node into its fanouts.
+// Buffer nodes that drive a PO are kept (they name the output). Returns
+// whether anything changed.
+func (nw *Network) propagateSimple(n *Node) bool {
+	fanouts := nw.Fanouts()[n.Name]
+	if len(fanouts) == 0 {
+		return false
+	}
+	changed := false
+	for _, fo := range fanouts {
+		if nw.Compose(fo, n.Name) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ReplaceFaninSignal rewires node name to read signal `new` (in the given
+// phase relative to `old`: invert=false means new carries old's function,
+// invert=true means new carries its complement) wherever it read `old`.
+// When `new` is already a fanin the columns are merged cube-wise. Returns
+// false when the rewiring would create a combinational cycle or the node
+// does not use old.
+func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
+	n := nw.nodes[name]
+	if n == nil {
+		return false
+	}
+	oldIdx := n.FaninIndex(old)
+	if oldIdx < 0 {
+		return false
+	}
+	if new != name && nw.DependsOn(new, name) {
+		return false
+	}
+	if new == name {
+		return false
+	}
+	newFanins := make([]string, 0, len(n.Fanins))
+	for _, f := range n.Fanins {
+		if f == old {
+			f = new
+		}
+		dup := false
+		for _, x := range newFanins {
+			if x == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			newFanins = append(newFanins, f)
+		}
+	}
+	pos := make(map[string]int, len(newFanins))
+	for i, f := range newFanins {
+		pos[f] = i
+	}
+	out := cube.NewCover(len(newFanins))
+	for _, c := range n.Cover.Cubes {
+		k := cube.New(len(newFanins))
+		empty := false
+		for _, v := range c.Lits() {
+			sig := n.Fanins[v]
+			ph := c.Get(v)
+			if sig == old {
+				sig = new
+				if invert {
+					if ph == cube.Pos {
+						ph = cube.Neg
+					} else {
+						ph = cube.Pos
+					}
+				}
+			}
+			i := pos[sig]
+			if p := k.Get(i); p != cube.Free && p != ph {
+				empty = true // x ∧ x' after merging columns
+				break
+			}
+			k.Set(i, ph)
+		}
+		if !empty {
+			out.Cubes = append(out.Cubes, k)
+		}
+	}
+	n.Fanins = newFanins
+	n.Cover = out.SCC()
+	nw.NormalizeNode(name)
+	return true
+}
+
+// Value computes the SIS eliminate value of a node: the literal increase
+// caused by collapsing it into all fanouts. value = (uses−1)·lits(n) − uses,
+// where uses is the number of literal occurrences of the node's signal in
+// fanout covers (positive or negative). Nodes driving POs get value +∞
+// (never auto-eliminated) unless allowPO.
+func (nw *Network) Value(name string, allowPO bool) int {
+	n := nw.nodes[name]
+	if n == nil {
+		return 1 << 30
+	}
+	if !allowPO {
+		for _, po := range nw.pos {
+			if po == name {
+				return 1 << 30
+			}
+		}
+	}
+	uses := 0
+	for _, fo := range nw.Nodes() {
+		vi := fo.FaninIndex(name)
+		if vi < 0 {
+			continue
+		}
+		for _, c := range fo.Cover.Cubes {
+			if c.ContainsVar(vi) {
+				uses++
+			}
+		}
+	}
+	if uses == 0 {
+		return -1 // dead: always worth removing
+	}
+	l := n.Cover.NumLits()
+	return (uses-1)*l - uses
+}
+
+// Eliminate collapses every node whose value is ≤ threshold into its
+// fanouts, repeating until stable (the SIS `eliminate` command). Returns the
+// number of nodes eliminated.
+func (nw *Network) Eliminate(threshold int) int {
+	count := 0
+	for {
+		victim := ""
+		best := threshold + 1
+		for _, name := range nw.SortedNodeNames() {
+			isPO := false
+			for _, po := range nw.pos {
+				if po == name {
+					isPO = true
+					break
+				}
+			}
+			if isPO {
+				continue
+			}
+			if v := nw.Value(name, false); v <= threshold && v < best {
+				victim, best = name, v
+			}
+		}
+		if victim == "" {
+			nw.Sweep()
+			return count
+		}
+		for _, fo := range nw.Fanouts()[victim] {
+			nw.Compose(fo, victim)
+		}
+		nw.RemoveNode(victim)
+		count++
+	}
+}

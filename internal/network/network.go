@@ -1,0 +1,433 @@
+// Package network implements the multilevel Boolean network on which all
+// optimization operates: named nodes carrying local sum-of-product covers
+// over their fanin signals, primary inputs and outputs, structural editing
+// (substitution, collapsing, sweeping), 64-way parallel simulation, and the
+// SOP/factored literal statistics the paper reports.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebraic"
+	"repro/internal/cube"
+)
+
+// Node is an internal node: a local SOP over its fanin signals. Variable i
+// of the cover corresponds to Fanins[i].
+type Node struct {
+	Name   string
+	Fanins []string
+	Cover  cube.Cover
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	f := make([]string, len(n.Fanins))
+	copy(f, n.Fanins)
+	return &Node{Name: n.Name, Fanins: f, Cover: n.Cover.Clone()}
+}
+
+// FaninIndex returns the local variable index of signal s, or -1.
+func (n *Node) FaninIndex(s string) int {
+	for i, f := range n.Fanins {
+		if f == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Network is a combinational multilevel Boolean network.
+type Network struct {
+	Name  string
+	pis   []string
+	pos   []string
+	nodes map[string]*Node
+	order []string // node creation order, for deterministic iteration
+}
+
+// New creates an empty network.
+func New(name string) *Network {
+	return &Network{Name: name, nodes: make(map[string]*Node)}
+}
+
+// AddPI declares a primary input signal.
+func (nw *Network) AddPI(name string) {
+	if nw.nodes[name] != nil || nw.isPI(name) {
+		panic(fmt.Sprintf("network: duplicate signal %q", name))
+	}
+	nw.pis = append(nw.pis, name)
+}
+
+// AddPO declares signal name as a primary output. The signal must exist (PI
+// or node) by the time the network is used.
+func (nw *Network) AddPO(name string) { nw.pos = append(nw.pos, name) }
+
+// AddNode installs a node computing cover over fanins. Fanins must be
+// distinct; the cover's variable space must match len(fanins).
+func (nw *Network) AddNode(name string, fanins []string, cover cube.Cover) *Node {
+	if cover.NumVars() != len(fanins) {
+		panic(fmt.Sprintf("network: node %q cover space %d != fanins %d", name, cover.NumVars(), len(fanins)))
+	}
+	if nw.nodes[name] != nil || nw.isPI(name) {
+		panic(fmt.Sprintf("network: duplicate signal %q", name))
+	}
+	seen := map[string]bool{}
+	for _, f := range fanins {
+		if seen[f] {
+			panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+		}
+		seen[f] = true
+	}
+	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
+	nw.nodes[name] = n
+	nw.order = append(nw.order, name)
+	return n
+}
+
+// PIs returns the primary input names (do not modify).
+func (nw *Network) PIs() []string { return nw.pis }
+
+// POs returns the primary output signal names (do not modify).
+func (nw *Network) POs() []string { return nw.pos }
+
+// Node returns the node driving signal name, or nil for PIs/unknown.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// Nodes returns all nodes in deterministic (creation) order.
+func (nw *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(nw.nodes))
+	for _, name := range nw.order {
+		if n := nw.nodes[name]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the internal node count.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+func (nw *Network) isPI(name string) bool {
+	for _, p := range nw.pis {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPI reports whether name is a primary input.
+func (nw *Network) IsPI(name string) bool { return nw.isPI(name) }
+
+// RemoveNode deletes the node driving name. The caller must ensure nothing
+// references it (Sweep does this in bulk).
+func (nw *Network) RemoveNode(name string) {
+	delete(nw.nodes, name)
+}
+
+// Clone deep-copies the network.
+func (nw *Network) Clone() *Network {
+	c := New(nw.Name)
+	c.pis = append([]string(nil), nw.pis...)
+	c.pos = append([]string(nil), nw.pos...)
+	c.order = append([]string(nil), nw.order...)
+	for k, v := range nw.nodes {
+		c.nodes[k] = v.Clone()
+	}
+	return c
+}
+
+// CopyFrom replaces nw's entire contents with a deep copy of o (used to
+// commit a speculative rewrite produced on a clone).
+func (nw *Network) CopyFrom(o *Network) {
+	c := o.Clone()
+	nw.Name = c.Name
+	nw.pis = c.pis
+	nw.pos = c.pos
+	nw.nodes = c.nodes
+	nw.order = c.order
+}
+
+// Fanouts returns, for every signal, the list of node names that use it as
+// a fanin, in deterministic order.
+func (nw *Network) Fanouts() map[string][]string {
+	out := make(map[string][]string)
+	for _, n := range nw.Nodes() {
+		for _, f := range n.Fanins {
+			out[f] = append(out[f], n.Name)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns node names such that every node appears after all its
+// fanin nodes. Panics on a combinational cycle.
+func (nw *Network) TopoOrder() []string {
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var out []string
+	var visit func(string)
+	visit = func(s string) {
+		if nw.isPI(s) {
+			return
+		}
+		n := nw.nodes[s]
+		if n == nil {
+			return
+		}
+		switch state[s] {
+		case 1:
+			panic("network: combinational cycle at " + s)
+		case 2:
+			return
+		}
+		state[s] = 1
+		for _, f := range n.Fanins {
+			visit(f)
+		}
+		state[s] = 2
+		out = append(out, s)
+	}
+	for _, name := range nw.order {
+		if nw.nodes[name] != nil {
+			visit(name)
+		}
+	}
+	return out
+}
+
+// DependsOn reports whether signal a transitively depends on signal b (b is
+// in a's fanin cone, or a == b).
+func (nw *Network) DependsOn(a, b string) bool {
+	if a == b {
+		return true
+	}
+	seen := make(map[string]bool)
+	var walk func(string) bool
+	walk = func(s string) bool {
+		if s == b {
+			return true
+		}
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+		n := nw.nodes[s]
+		if n == nil {
+			return false
+		}
+		for _, f := range n.Fanins {
+			if walk(f) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(a)
+}
+
+// TFOSet returns the set of node names transitively depending on signal
+// name (excluding name itself) — one graph pass instead of per-pair
+// DependsOn probes.
+func (nw *Network) TFOSet(name string) map[string]bool {
+	fanouts := nw.Fanouts()
+	out := make(map[string]bool)
+	stack := []string{name}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range fanouts[s] {
+			if !out[fo] {
+				out[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return out
+}
+
+// SOPLits returns the total SOP literal count over all nodes.
+func (nw *Network) SOPLits() int {
+	n := 0
+	for _, nd := range nw.Nodes() {
+		n += nd.Cover.NumLits()
+	}
+	return n
+}
+
+// FactoredLits returns the total factored-form literal count — the paper's
+// reported cost metric ("literal counts are in factored form").
+func (nw *Network) FactoredLits() int {
+	n := 0
+	for _, nd := range nw.Nodes() {
+		n += algebraic.FactorLits(nd.Cover)
+	}
+	return n
+}
+
+// Levels returns the logic depth of every signal (PIs at 0, each node one
+// more than its deepest fanin) and the maximum over the POs.
+func (nw *Network) Levels() (map[string]int, int) {
+	lv := make(map[string]int, len(nw.nodes)+len(nw.pis))
+	for _, pi := range nw.pis {
+		lv[pi] = 0
+	}
+	for _, name := range nw.TopoOrder() {
+		n := nw.nodes[name]
+		d := 0
+		for _, f := range n.Fanins {
+			if lv[f] >= d {
+				d = lv[f] + 1
+			}
+		}
+		if len(n.Fanins) == 0 {
+			d = 0
+		}
+		lv[name] = d
+	}
+	max := 0
+	for _, po := range nw.pos {
+		if lv[po] > max {
+			max = lv[po]
+		}
+	}
+	return lv, max
+}
+
+// Check validates structural invariants: fanins exist, covers sized, POs
+// driven, no cycles. Returns the first problem found.
+func (nw *Network) Check() error {
+	for _, n := range nw.Nodes() {
+		if n.Cover.NumVars() != len(n.Fanins) {
+			return fmt.Errorf("node %q: cover space %d != %d fanins", n.Name, n.Cover.NumVars(), len(n.Fanins))
+		}
+		for _, f := range n.Fanins {
+			if !nw.isPI(f) && nw.nodes[f] == nil {
+				return fmt.Errorf("node %q: undriven fanin %q", n.Name, f)
+			}
+		}
+	}
+	for _, po := range nw.pos {
+		if !nw.isPI(po) && nw.nodes[po] == nil {
+			return fmt.Errorf("undriven primary output %q", po)
+		}
+	}
+	defer func() { recover() }()
+	nw.TopoOrder()
+	return nil
+}
+
+// String summarizes the network, rendering each node's SOP over its fanin
+// signal names.
+func (nw *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s: %d PI, %d PO, %d nodes, %d lits (sop), %d lits (fac)\n",
+		nw.Name, len(nw.pis), len(nw.pos), len(nw.nodes), nw.SOPLits(), nw.FactoredLits())
+	for _, name := range nw.TopoOrder() {
+		n := nw.nodes[name]
+		fmt.Fprintf(&b, "  %s = %s\n", n.Name, n.Render())
+	}
+	return b.String()
+}
+
+// Render prints the node's cover using its fanin signal names.
+func (n *Node) Render() string {
+	if n.Cover.IsZero() {
+		return "0"
+	}
+	var terms []string
+	for _, c := range n.Cover.Cubes {
+		if c.IsUniverse() {
+			return "1"
+		}
+		var t strings.Builder
+		for _, v := range c.Lits() {
+			if t.Len() > 0 {
+				t.WriteByte('*')
+			}
+			t.WriteString(n.Fanins[v])
+			if c.Get(v) == cube.Neg {
+				t.WriteByte('\'')
+			}
+		}
+		terms = append(terms, t.String())
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, " + ")
+}
+
+// ReplaceNodeFunction rewrites node name with a new fanin list and cover,
+// preserving its name (fanouts are untouched). It refuses changes that would
+// create a combinational cycle.
+func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.Cover) error {
+	n := nw.nodes[name]
+	if n == nil {
+		return fmt.Errorf("network: no node %q", name)
+	}
+	if cover.NumVars() != len(fanins) {
+		return fmt.Errorf("network: cover space mismatch for %q", name)
+	}
+	for _, f := range fanins {
+		if f != name && nw.DependsOn(f, name) {
+			return fmt.Errorf("network: fanin %q of %q would create a cycle", f, name)
+		}
+		if f == name {
+			return fmt.Errorf("network: self-loop on %q", name)
+		}
+	}
+	n.Fanins = append([]string(nil), fanins...)
+	n.Cover = cover
+	return nil
+}
+
+// NormalizeNode drops fanins that no longer appear in the node's cover,
+// compacting the variable space.
+func (nw *Network) NormalizeNode(name string) {
+	n := nw.nodes[name]
+	if n == nil {
+		return
+	}
+	used := n.Cover.Support()
+	if len(used) == len(n.Fanins) {
+		return
+	}
+	idx := make(map[int]int, len(used))
+	newFanins := make([]string, 0, len(used))
+	for newV, oldV := range used {
+		idx[oldV] = newV
+		newFanins = append(newFanins, n.Fanins[oldV])
+	}
+	nc := cube.NewCover(len(used))
+	for _, c := range n.Cover.Cubes {
+		k := cube.New(len(used))
+		for _, v := range c.Lits() {
+			k.Set(idx[v], c.Get(v))
+		}
+		nc.Add(k)
+	}
+	n.Fanins = newFanins
+	n.Cover = nc
+}
+
+// freshName generates an unused signal name with the given prefix.
+func (nw *Network) FreshName(prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if nw.nodes[name] == nil && !nw.isPI(name) {
+			return name
+		}
+	}
+}
+
+// SortedNodeNames returns node names sorted lexicographically (stable
+// iteration for tests).
+func (nw *Network) SortedNodeNames() []string {
+	out := make([]string, 0, len(nw.nodes))
+	for k := range nw.nodes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,90 @@
+package network
+
+import "repro/internal/cube"
+
+// Simulate evaluates the network on 64 parallel input patterns: piWords maps
+// each PI name to a 64-bit word (bit k = value of that PI in pattern k).
+// It returns a word per signal (PIs included).
+func (nw *Network) Simulate(piWords map[string]uint64) map[string]uint64 {
+	val := make(map[string]uint64, len(nw.nodes)+len(nw.pis))
+	for _, pi := range nw.pis {
+		val[pi] = piWords[pi]
+	}
+	for _, name := range nw.TopoOrder() {
+		n := nw.nodes[name]
+		val[name] = evalCoverWords(n.Cover, n.Fanins, val)
+	}
+	return val
+}
+
+// evalCoverWords evaluates a cover bit-parallel given fanin words.
+func evalCoverWords(f cube.Cover, fanins []string, val map[string]uint64) uint64 {
+	var out uint64
+	for _, c := range f.Cubes {
+		w := ^uint64(0)
+		for _, v := range c.Lits() {
+			x := val[fanins[v]]
+			if c.Get(v) == cube.Neg {
+				x = ^x
+			}
+			w &= x
+			if w == 0 {
+				break
+			}
+		}
+		out |= w
+		if out == ^uint64(0) {
+			break
+		}
+	}
+	return out
+}
+
+// GlobalCover collapses signal name into a cover over the primary inputs,
+// whose variable i corresponds to piOrder[i]. Exponential in the worst case;
+// intended for small cones (verification, don't-care analysis).
+func (nw *Network) GlobalCover(name string, piOrder []string) cube.Cover {
+	idx := make(map[string]int, len(piOrder))
+	for i, pi := range piOrder {
+		idx[pi] = i
+	}
+	memo := make(map[string]cube.Cover)
+	var global func(string) cube.Cover
+	global = func(s string) cube.Cover {
+		if g, ok := memo[s]; ok {
+			return g
+		}
+		n := len(piOrder)
+		if i, ok := idx[s]; ok {
+			c := cube.New(n)
+			c.Set(i, cube.Pos)
+			g := cube.CoverOf(n, c)
+			memo[s] = g
+			return g
+		}
+		nd := nw.nodes[s]
+		if nd == nil {
+			panic("network: unknown signal " + s)
+		}
+		// Substitute each fanin's global cover into the local SOP.
+		out := cube.NewCover(n)
+		for _, c := range nd.Cover.Cubes {
+			term := cube.CoverOf(n, cube.New(n))
+			for _, v := range c.Lits() {
+				g := global(nd.Fanins[v])
+				if c.Get(v) == cube.Neg {
+					g = g.Complement()
+				}
+				term = term.And(g)
+				if term.IsZero() {
+					break
+				}
+			}
+			out = out.Or(term)
+		}
+		out = out.SCC()
+		memo[s] = out
+		return out
+	}
+	return global(name)
+}

@@ -1,0 +1,43 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+	"repro/internal/opt"
+)
+
+// ExampleRemoveRedundancies removes a classic redundant literal through
+// implication-based untestability.
+func ExampleRemoveRedundancies() {
+	nw := network.New("demo")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "ab + ab'c"))
+	nw.AddPO("f")
+	n := opt.RemoveRedundancies(nw, 1)
+	fmt.Println("removed:", n)
+	fmt.Println("f =", nw.Node("f").Render())
+	// Output:
+	// removed: 1
+	// f = a*b + a*c
+}
+
+// ExampleSATSweep merges two equivalent nodes.
+func ExampleSATSweep() {
+	nw := network.New("demo")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("x", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("y", []string{"b", "a"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"x", "y"}, cube.ParseCover(2, "a + b"))
+	nw.AddPO("f")
+	merged := opt.SATSweep(nw)
+	fmt.Println("merged:", merged)
+	fmt.Println("f =", nw.Node("f").Render())
+	// Output:
+	// merged: 1
+	// f = x
+}

@@ -1,0 +1,574 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+	"repro/internal/verify"
+)
+
+func TestSimplifyAll(t *testing.T) {
+	nw := network.New("s")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("f", []string{"a", "b"}, cube.ParseCover(2, "ab + ab'"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	saved := SimplifyAll(nw)
+	if saved < 2 {
+		t.Errorf("saved = %d", saved)
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("simplify broke equivalence")
+	}
+	if nw.Node("f").Cover.NumLits() != 1 {
+		t.Errorf("f = %v", nw.Node("f").Cover)
+	}
+}
+
+func TestResubAlgebraic(t *testing.T) {
+	// f = abc + abd + e with g = ab: the classic algebraic resub.
+	nw := network.New("r")
+	for _, pi := range []string{"a", "b", "c", "d", "e"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"a", "b", "c", "d", "e"}, cube.ParseCover(5, "abc + abd + e"))
+	nw.AddPO("f")
+	nw.AddPO("g")
+	ref := nw.Clone()
+	n := ResubAlgebraic(nw, true)
+	if n < 1 {
+		t.Fatal("no resubstitution")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("resub broke equivalence")
+	}
+	if nw.Node("f").FaninIndex("g") < 0 {
+		t.Error("f does not use g")
+	}
+}
+
+func TestResubComplementPhase(t *testing.T) {
+	// f = a'b' + c, g = a + b: with -d (complement) f = g' + c commits.
+	nw := network.New("rc")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "a + b"))
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "a'b' + c"))
+	nw.AddPO("f")
+	nw.AddPO("g")
+	ref := nw.Clone()
+	if n := ResubAlgebraic(nw, true); n < 1 {
+		t.Fatal("complement resub not found")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	fn := nw.Node("f")
+	if fn.FaninIndex("g") < 0 {
+		t.Errorf("f does not use g: %v over %v", fn.Cover, fn.Fanins)
+	}
+}
+
+func TestGcxExtractsSharedCube(t *testing.T) {
+	// ab appears in three nodes: extraction pays off.
+	nw := network.New("gcx")
+	for _, pi := range []string{"a", "b", "c", "d", "e"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("x", []string{"a", "b", "c"}, cube.ParseCover(3, "abc"))
+	nw.AddNode("y", []string{"a", "b", "d"}, cube.ParseCover(3, "abc + c'"))
+	nw.AddNode("z", []string{"a", "b", "e"}, cube.ParseCover(3, "abc'"))
+	for _, po := range []string{"x", "y", "z"} {
+		nw.AddPO(po)
+	}
+	ref := nw.Clone()
+	n := Gcx(nw)
+	if n < 1 {
+		t.Fatal("no cube extracted")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("gcx broke equivalence")
+	}
+}
+
+func TestGkxExtractsSharedKernel(t *testing.T) {
+	// Kernel c+d shared between two nodes.
+	nw := network.New("gkx")
+	for _, pi := range []string{"a", "b", "c", "d"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("x", []string{"a", "c", "d"}, cube.ParseCover(3, "ab + ac"))
+	nw.AddNode("y", []string{"b", "c", "d"}, cube.ParseCover(3, "ab + ac"))
+	nw.AddPO("x")
+	nw.AddPO("y")
+	ref := nw.Clone()
+	n := Gkx(nw)
+	if n < 1 {
+		t.Fatal("no kernel extracted")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("gkx broke equivalence")
+	}
+	// Both x and y should now reference the extracted node.
+	shared := ""
+	for _, node := range nw.Nodes() {
+		if node.Name != "x" && node.Name != "y" {
+			shared = node.Name
+		}
+	}
+	if shared == "" {
+		t.Fatal("kernel node missing")
+	}
+	if nw.Node("x").FaninIndex(shared) < 0 || nw.Node("y").FaninIndex(shared) < 0 {
+		t.Error("kernel not resubstituted into both nodes")
+	}
+}
+
+func TestDecompBreaksLargeNode(t *testing.T) {
+	nw := network.New("dec")
+	for _, pi := range []string{"a", "b", "c", "d", "e"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c", "d", "e"},
+		cube.ParseCover(5, "ac + ad + bc + bd + e"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	n := Decomp(nw)
+	if n < 1 {
+		t.Fatal("no decomposition")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("decomp broke equivalence")
+	}
+	if nw.NumNodes() < 2 {
+		t.Error("structure not decomposed")
+	}
+}
+
+func TestPropCommandsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	cmds := []struct {
+		name string
+		run  func(*network.Network)
+	}{
+		{"simplify", func(n *network.Network) { SimplifyAll(n) }},
+		{"resub", func(n *network.Network) { ResubAlgebraic(n, true) }},
+		{"gcx", func(n *network.Network) { Gcx(n) }},
+		{"gkx", func(n *network.Network) { Gkx(n) }},
+		{"decomp", func(n *network.Network) { Decomp(n) }},
+		{"eliminate", func(n *network.Network) { n.Eliminate(0) }},
+		{"sweep", func(n *network.Network) { n.Sweep() }},
+	}
+	for trial := 0; trial < 10; trial++ {
+		base := randomDAG(r, 4, 6)
+		for _, cmd := range cmds {
+			nw := base.Clone()
+			cmd.run(nw)
+			if err := nw.Check(); err != nil {
+				t.Fatalf("trial %d %s: invalid network: %v", trial, cmd.name, err)
+			}
+			if !verify.Equivalent(base, nw) {
+				t.Fatalf("trial %d: %s broke equivalence\nbefore: %safter: %s",
+					trial, cmd.name, base.String(), nw.String())
+			}
+		}
+	}
+}
+
+func randomDAG(r *rand.Rand, nPI, nNode int) *network.Network {
+	nw := network.New("rand")
+	var signals []string
+	for i := 0; i < nPI; i++ {
+		name := string(rune('a' + i))
+		nw.AddPI(name)
+		signals = append(signals, name)
+	}
+	for i := 0; i < nNode; i++ {
+		k := 2 + r.Intn(2)
+		if k > len(signals) {
+			k = len(signals)
+		}
+		perm := r.Perm(len(signals))[:k]
+		fanins := make([]string, k)
+		for j, p := range perm {
+			fanins[j] = signals[p]
+		}
+		cov := cube.NewCover(k)
+		for c := 0; c < 1+r.Intn(3); c++ {
+			cb := cube.New(k)
+			nLit := 0
+			for v := 0; v < k; v++ {
+				switch r.Intn(3) {
+				case 0:
+					cb.Set(v, cube.Pos)
+					nLit++
+				case 1:
+					cb.Set(v, cube.Neg)
+					nLit++
+				}
+			}
+			if nLit > 0 {
+				cov.Add(cb)
+			}
+		}
+		if cov.IsZero() {
+			c := cube.New(k)
+			c.Set(0, cube.Pos)
+			cov.Add(c)
+		}
+		name := nw.FreshName("n")
+		nw.AddNode(name, fanins, cov)
+		signals = append(signals, name)
+		nw.AddPO(name)
+	}
+	return nw
+}
+
+func TestRemoveRedundanciesLocal(t *testing.T) {
+	// f = ab + ab'c: the b' literal is redundant (f = ab + ac).
+	nw := network.New("rr")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("f", []string{"a", "b", "c"}, cube.ParseCover(3, "ab + ab'c"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	n := RemoveRedundancies(nw, 1)
+	if n < 1 {
+		t.Fatal("no redundancy removed")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	if nw.Node("f").Cover.NumLits() > 4 {
+		t.Errorf("f = %v, want 4 literals", nw.Node("f").Render())
+	}
+}
+
+func TestRemoveRedundanciesCrossNode(t *testing.T) {
+	// g = ab; f = g·a + c. The a literal of f is redundant (g implies a),
+	// invisible to per-node simplify but provable by implications through g.
+	nw := network.New("xn")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"g", "a", "c"}, cube.ParseCover(3, "ab + c"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	before := nw.SOPLits()
+	n := RemoveRedundancies(nw, 1)
+	if n < 1 {
+		t.Fatalf("cross-node redundancy not removed (lits %d)", before)
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	// Either the a literal of f or (equivalently) the a literal inside g is
+	// removable; whichever the engine found first, the total must shrink.
+	if nw.SOPLits() >= before {
+		t.Errorf("lits %d → %d, want a reduction", before, nw.SOPLits())
+	}
+}
+
+func TestPropRemoveRedundanciesSound(t *testing.T) {
+	r := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 15; trial++ {
+		nw := randomDAG(r, 4, 6)
+		ref := nw.Clone()
+		RemoveRedundancies(nw, 1)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid network: %v", trial, err)
+		}
+		if !verify.Equivalent(ref, nw) {
+			t.Fatalf("trial %d: redundancy removal broke equivalence\nbefore: %safter: %s",
+				trial, ref.String(), nw.String())
+		}
+	}
+}
+
+func TestFullSimplifyUsesSDC(t *testing.T) {
+	// g = ab, h = a'c: (g=1, h=1) is impossible, so f = gh' + g'h + gh can
+	// drop the gh cube and simplify.
+	nw := network.New("fs")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("h", []string{"a", "c"}, cube.ParseCover(2, "a'b"))
+	nw.AddNode("f", []string{"g", "h"}, cube.ParseCover(2, "ab' + a'b + ab"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	before := nw.Node("f").Cover.NumLits()
+	saved := FullSimplify(nw, 1)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("full_simplify broke equivalence")
+	}
+	fn := nw.Node("f")
+	if fn != nil && fn.Cover.NumLits() >= before {
+		t.Errorf("f not simplified: %s (%d lits, was %d, saved %d)",
+			fn.Render(), fn.Cover.NumLits(), before, saved)
+	}
+}
+
+func TestFullSimplifyConstantFanin(t *testing.T) {
+	// g = a·a' is constant 0 (built via two nodes so sweep doesn't fold it
+	// first); any node using g positively can drop those cubes.
+	nw := network.New("fsc")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("na", []string{"a"}, cube.ParseCover(1, "a'"))
+	nw.AddNode("g", []string{"a", "na"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"g", "b"}, cube.ParseCover(2, "ab + a'b'"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	FullSimplify(nw, 1)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	fn := nw.Node("f")
+	if fn != nil && fn.FaninIndex("g") >= 0 {
+		t.Errorf("constant fanin not eliminated: f = %s", fn.Render())
+	}
+}
+
+func TestPropFullSimplifySound(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 15; trial++ {
+		nw := randomDAG(r, 4, 6)
+		ref := nw.Clone()
+		FullSimplify(nw, 1)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if !verify.Equivalent(ref, nw) {
+			t.Fatalf("trial %d: full_simplify broke equivalence\nbefore: %safter: %s",
+				trial, ref.String(), nw.String())
+		}
+	}
+}
+
+func TestResubBDDFindsSubstitution(t *testing.T) {
+	nw := network.New("rb")
+	for _, pi := range []string{"a", "b", "c", "d", "e"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"a", "b", "c", "d", "e"}, cube.ParseCover(5, "abc + abd + e"))
+	nw.AddPO("f")
+	nw.AddPO("g")
+	ref := nw.Clone()
+	if n := ResubBDD(nw); n < 1 {
+		t.Fatal("no BDD resubstitution")
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("BDD resub broke equivalence")
+	}
+	if nw.Node("f").FaninIndex("g") < 0 {
+		t.Error("f does not use g")
+	}
+}
+
+func TestResubBDDBooleanPower(t *testing.T) {
+	// f = a + bc by d = a + b: algebraic fails, BDD division succeeds
+	// (quotient via generalized cofactor).
+	nw := network.New("rbq")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("d", []string{"a", "b"}, cube.ParseCover(2, "a + b"))
+	nw.AddNode("f", []string{"a", "b", "c", "d"}, cube.ParseCover(4, "a + bc + d"))
+	nw.AddPO("f")
+	nw.AddPO("d")
+	ref := nw.Clone()
+	ResubBDD(nw)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+}
+
+func TestPropResubBDDSound(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 15; trial++ {
+		nw := randomDAG(r, 4, 6)
+		ref := nw.Clone()
+		ResubBDD(nw)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if !verify.Equivalent(ref, nw) {
+			t.Fatalf("trial %d: BDD resub broke equivalence\nbefore: %safter: %s",
+				trial, ref.String(), nw.String())
+		}
+	}
+}
+
+func TestExactDCSimplifyUsesODC(t *testing.T) {
+	// n = b⊕c is only observed through f = n·b: when b=0 the node is
+	// unobservable, so n may collapse to c' (agreeing wherever b=1).
+	nw := network.New("odc")
+	nw.AddPI("b")
+	nw.AddPI("c")
+	nw.AddNode("n", []string{"b", "c"}, cube.ParseCover(2, "ab' + a'b"))
+	nw.AddNode("f", []string{"n", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	saved := ExactDCSimplify(nw, 0)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("exact-DC simplify broke equivalence")
+	}
+	if saved < 2 {
+		t.Errorf("saved only %d literals; network now:\n%s", saved, nw.String())
+	}
+}
+
+func TestExactDCSimplifyUsesSDC(t *testing.T) {
+	// g = ab and h = a'b feed f; (g=1,h=1) is unsatisfiable, so f's cover
+	// can drop terms depending on that combination.
+	nw := network.New("sdc")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("h", []string{"a", "b"}, cube.ParseCover(2, "a'b"))
+	nw.AddNode("f", []string{"g", "h"}, cube.ParseCover(2, "ab' + a'b + ab"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	before := nw.Node("f").Cover.NumLits()
+	ExactDCSimplify(nw, 0)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	if fn := nw.Node("f"); fn != nil && fn.Cover.NumLits() >= before {
+		t.Errorf("f not simplified: %s", fn.Render())
+	}
+}
+
+func TestPropExactDCSimplifySound(t *testing.T) {
+	r := rand.New(rand.NewSource(222))
+	for trial := 0; trial < 12; trial++ {
+		nw := randomDAG(r, 4, 6)
+		ref := nw.Clone()
+		ExactDCSimplify(nw, 0)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if !verify.Equivalent(ref, nw) {
+			t.Fatalf("trial %d: exact-DC simplify broke equivalence\nbefore: %safter: %s",
+				trial, ref.String(), nw.String())
+		}
+	}
+}
+
+func TestExactDCSimplifyRefusesWideCircuits(t *testing.T) {
+	nw := network.New("wide")
+	var fan []string
+	for i := 0; i < 25; i++ {
+		pi := "p" + string(rune('a'+i/5)) + string(rune('0'+i%5))
+		nw.AddPI(pi)
+		fan = append(fan, pi)
+	}
+	c := cube.New(25)
+	c.Set(0, cube.Pos)
+	nw.AddNode("f", fan, cube.CoverOf(25, c))
+	nw.AddPO("f")
+	if saved := ExactDCSimplify(nw, 20); saved != 0 {
+		t.Errorf("should refuse 25-PI circuit, saved %d", saved)
+	}
+}
+
+func TestSATSweepMergesDuplicates(t *testing.T) {
+	nw := network.New("dup")
+	for _, pi := range []string{"a", "b", "c"} {
+		nw.AddPI(pi)
+	}
+	// Two structurally different but equal nodes, plus an antivalent one.
+	nw.AddNode("g1", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("g2", []string{"a", "b"}, cube.ParseCover(2, "ab + ab"))
+	nw.AddNode("g3", []string{"a", "b"}, cube.ParseCover(2, "a' + b'")) // = ¬(ab)
+	nw.AddNode("f", []string{"g1", "g2", "g3", "c"}, cube.ParseCover(4, "ab + cd"))
+	nw.AddPO("f")
+	ref := nw.Clone()
+	n := SATSweep(nw)
+	if n < 2 {
+		t.Fatalf("merged %d nodes, want ≥ 2:\n%s", n, nw.String())
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("SAT sweep broke equivalence")
+	}
+	// g2 and g3 should be gone (folded into g1).
+	if nw.Node("g2") != nil || nw.Node("g3") != nil {
+		t.Errorf("duplicates survived:\n%s", nw.String())
+	}
+}
+
+func TestSATSweepCarrySelect(t *testing.T) {
+	// csel8 duplicates its upper half; sweeping must find mergeable cones
+	// and preserve equivalence.
+	nw := benchCsel8()
+	ref := nw.Clone()
+	n := SATSweep(nw)
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+	t.Logf("csel8: %d merges, %d → %d nodes", n, ref.NumNodes(), nw.NumNodes())
+}
+
+func TestPropSATSweepSound(t *testing.T) {
+	r := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 12; trial++ {
+		nw := randomDAG(r, 4, 7)
+		ref := nw.Clone()
+		SATSweep(nw)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if !verify.Equivalent(ref, nw) {
+			t.Fatalf("trial %d: SAT sweep broke equivalence\nbefore: %safter: %s",
+				trial, ref.String(), nw.String())
+		}
+	}
+}
+
+func TestReplaceFaninSignal(t *testing.T) {
+	nw := network.New("rf")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddNode("x", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("y", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"x", "y"}, cube.ParseCover(2, "ab' + a'b"))
+	nw.AddPO("f")
+	// x ≡ y: rewiring f to read x for y makes its XOR constant 0.
+	if !nw.ReplaceFaninSignal("f", "y", "x", false) {
+		t.Fatal("rewire refused")
+	}
+	fn := nw.Node("f")
+	if !fn.Cover.IsZero() {
+		t.Errorf("x⊕x should collapse to 0, got %s", fn.Render())
+	}
+}
+
+// benchCsel8 builds the csel8 circuit without importing internal/bench
+// (which would create an import cycle through this package's tests).
+func benchCsel8() *network.Network {
+	nw := network.New("csel8ish")
+	for i := 0; i < 4; i++ {
+		nw.AddPI("a" + string(rune('0'+i)))
+		nw.AddPI("b" + string(rune('0'+i)))
+	}
+	// Two identical half-adders over the same inputs (duplication), muxed.
+	nw.AddPI("sel")
+	nw.AddNode("s1", []string{"a0", "b0"}, cube.ParseCover(2, "ab' + a'b"))
+	nw.AddNode("s2", []string{"a0", "b0"}, cube.ParseCover(2, "ab' + a'b"))
+	nw.AddNode("c1", []string{"a1", "b1"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("c2", []string{"a1", "b1"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("o1", []string{"sel", "s1", "c1"}, cube.ParseCover(3, "a'b + ac"))
+	nw.AddNode("o2", []string{"sel", "s2", "c2"}, cube.ParseCover(3, "a'b + ac"))
+	nw.AddPO("o1")
+	nw.AddPO("o2")
+	return nw
+}

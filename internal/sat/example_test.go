@@ -1,0 +1,21 @@
+package sat_test
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+)
+
+// ExampleSolver shows basic CNF solving.
+func ExampleSolver() {
+	s := sat.New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a)      // a
+	s.AddClause(-a, b)  // a → b
+	s.AddClause(-b, c)  // b → c
+	s.AddClause(-c, -a) // ¬(c ∧ a)
+	_, res := s.Solve()
+	fmt.Println(res == sat.Unsat)
+	// Output:
+	// true
+}

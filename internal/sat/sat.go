@@ -1,0 +1,387 @@
+// Package sat is a compact CDCL satisfiability solver — two-literal
+// watching, first-UIP conflict learning, VSIDS-style activities and Luby
+// restarts — sized for the equivalence-checking miters this repository
+// generates (internal/verify uses it for circuits too wide to enumerate).
+// Literals use the DIMACS convention: variables are positive integers,
+// negation is arithmetic negation.
+package sat
+
+// Result of a Solve call.
+type Result int
+
+const (
+	// Unsat means no satisfying assignment exists.
+	Unsat Result = iota
+	// Sat means a model was found.
+	Sat
+	// Unknown means the conflict bound was exceeded.
+	Unknown
+)
+
+// lit is an internal literal: variable v (1-based) positive → 2v, negative
+// → 2v+1.
+type lit uint32
+
+func toLit(l int) lit {
+	if l > 0 {
+		return lit(2 * l)
+	}
+	return lit(-2*l + 1)
+}
+
+func (l lit) neg() lit    { return l ^ 1 }
+func (l lit) varIdx() int { return int(l >> 1) }
+func (l lit) sign() bool  { return l&1 == 1 } // true = negated
+func (l lit) toDimacs() int {
+	if l.sign() {
+		return -l.varIdx()
+	}
+	return l.varIdx()
+}
+
+type clause struct {
+	lits    []lit
+	learned bool
+}
+
+// Solver holds a CNF instance and solver state. Create with New.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	watches map[lit][]*clause
+
+	assign  []int8 // by var: 0 unknown, 1 true, -1 false
+	level   []int
+	reason  []*clause
+	trail   []lit
+	trailLm []int // trail length at each decision level
+	qhead   int
+
+	activity []float64
+	actInc   float64
+
+	// MaxConflicts bounds the search (0 = 1<<30); exceeded → Unknown.
+	MaxConflicts int
+
+	addedEmpty bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{watches: make(map[lit][]*clause), actInc: 1}
+}
+
+// NewVar allocates a fresh variable and returns its (positive) index.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	return s.nVars
+}
+
+// NumVars returns the allocated variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// AddClause adds a disjunction of DIMACS literals. An empty clause makes
+// the instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...int) {
+	if len(lits) == 0 {
+		s.addedEmpty = true
+		return
+	}
+	ls := make([]lit, 0, len(lits))
+	seen := map[lit]bool{}
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			panic("sat: zero literal")
+		}
+		if v > s.nVars {
+			s.nVars = v
+		}
+		ll := toLit(l)
+		if seen[ll.neg()] {
+			return // tautological clause
+		}
+		if !seen[ll] {
+			seen[ll] = true
+			ls = append(ls, ll)
+		}
+	}
+	s.clauses = append(s.clauses, &clause{lits: ls})
+}
+
+func (s *Solver) grow() {
+	n := s.nVars + 1
+	s.assign = make([]int8, n)
+	s.level = make([]int, n)
+	s.reason = make([]*clause, n)
+	s.activity = make([]float64, n)
+}
+
+func (s *Solver) valueLit(l lit) int8 {
+	a := s.assign[l.varIdx()]
+	if a == 0 {
+		return 0
+	}
+	if l.sign() {
+		return -a
+	}
+	return a
+}
+
+func (s *Solver) enqueue(l lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l.varIdx()
+	if l.sign() {
+		s.assign[v] = -1
+	} else {
+		s.assign[v] = 1
+	}
+	s.level[v] = len(s.trailLm)
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs two-watch unit propagation; returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		np := p.neg()
+		ws := s.watches[np]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.valueLit(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: keep remaining watches and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[np] = kept
+				return c
+			}
+		}
+		s.watches[np] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bump(v int) {
+	s.activity[v] += s.actInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]lit, int) {
+	learned := []lit{0} // slot 0 for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p lit
+	idx := len(s.trail) - 1
+	curLevel := len(s.trailLm)
+
+	c := confl
+	for {
+		for _, q := range c.lits {
+			if p != 0 && q == p {
+				continue
+			}
+			v := q.varIdx()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bump(v)
+			if s.level[v] == curLevel {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find the next trail literal at the current level that is seen.
+		for !seen[s.trail[idx].varIdx()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		seen[p.varIdx()] = false
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.varIdx()]
+	}
+	learned[0] = p.neg()
+
+	// Backjump level = max level among the other literals.
+	back := 0
+	for _, q := range learned[1:] {
+		if lv := s.level[q.varIdx()]; lv > back {
+			back = lv
+		}
+	}
+	return learned, back
+}
+
+func (s *Solver) cancelUntil(level int) {
+	for len(s.trailLm) > level {
+		lim := s.trailLm[len(s.trailLm)-1]
+		for len(s.trail) > lim {
+			l := s.trail[len(s.trail)-1]
+			s.trail = s.trail[:len(s.trail)-1]
+			v := l.varIdx()
+			s.assign[v] = 0
+			s.reason[v] = nil
+		}
+		s.trailLm = s.trailLm[:len(s.trailLm)-1]
+	}
+	if s.qhead > len(s.trail) {
+		s.qhead = len(s.trail)
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	if len(c.lits) > 1 {
+		s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+	}
+}
+
+// pickBranch selects the unassigned variable with the highest activity
+// (ties: lowest index), branching negative first (circuit heuristic).
+func (s *Solver) pickBranch() lit {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return toLit(-best)
+}
+
+// luby yields the Luby restart sequence.
+func luby(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i >= 1<<(k-1) && i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve decides the instance. On Sat the returned assignment is indexed by
+// variable (entry 0 unused).
+func (s *Solver) Solve() ([]bool, Result) {
+	if s.addedEmpty {
+		return nil, Unsat
+	}
+	s.grow()
+	s.watches = make(map[lit][]*clause)
+	s.trail = s.trail[:0]
+	s.trailLm = s.trailLm[:0]
+	s.qhead = 0
+
+	// Attach clauses; handle units and empties.
+	for _, c := range s.clauses {
+		if len(c.lits) == 1 {
+			if !s.enqueue(c.lits[0], nil) {
+				return nil, Unsat
+			}
+			continue
+		}
+		s.attach(c)
+	}
+	if s.propagate() != nil {
+		return nil, Unsat
+	}
+
+	maxConfl := s.MaxConflicts
+	if maxConfl <= 0 {
+		maxConfl = 1 << 30
+	}
+	conflicts := 0
+	restartN := 1
+	restartBudget := 100 * luby(restartN)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			if conflicts > maxConfl {
+				return nil, Unknown
+			}
+			if len(s.trailLm) == 0 {
+				return nil, Unsat
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			lc := &clause{lits: learned, learned: true}
+			if len(learned) > 1 {
+				s.attach(lc)
+				s.clauses = append(s.clauses, lc)
+			}
+			if !s.enqueue(learned[0], lc) {
+				return nil, Unsat
+			}
+			s.actInc *= 1.05
+			restartBudget--
+			if restartBudget <= 0 {
+				s.cancelUntil(0)
+				restartN++
+				restartBudget = 100 * luby(restartN)
+			}
+			continue
+		}
+		next := s.pickBranch()
+		if next == 0 {
+			model := make([]bool, s.nVars+1)
+			for v := 1; v <= s.nVars; v++ {
+				model[v] = s.assign[v] == 1
+			}
+			return model, Sat
+		}
+		s.trailLm = append(s.trailLm, len(s.trail))
+		s.enqueue(next, nil)
+	}
+}

@@ -1,0 +1,261 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	model, res := s.Solve()
+	if res != Sat || !model[a] {
+		t.Fatalf("res=%v model=%v", res, model)
+	}
+}
+
+func TestUnsatPair(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a)
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatalf("res=%v", res)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// a, a→b, b→c, c→d: all true.
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a, b)
+	s.AddClause(-b, c)
+	s.AddClause(-c, d)
+	model, res := s.Solve()
+	if res != Sat {
+		t.Fatal("unsat")
+	}
+	for _, v := range []int{a, b, c, d} {
+		if !model[v] {
+			t.Errorf("var %d should be true", v)
+		}
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 is unsatisfiable.
+	s := New()
+	x := []int{0, s.NewVar(), s.NewVar(), s.NewVar()}
+	xor1 := func(a, b int) {
+		s.AddClause(a, b)
+		s.AddClause(-a, -b)
+	}
+	xor1(x[1], x[2])
+	xor1(x[2], x[3])
+	xor1(x[1], x[3])
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatalf("res=%v", res)
+	}
+}
+
+func TestPigeonhole32(t *testing.T) {
+	// 3 pigeons, 2 holes: UNSAT. p[i][j] = pigeon i in hole j.
+	s := New()
+	var p [3][2]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			p[i][j] = s.NewVar()
+		}
+		s.AddClause(p[i][0], p[i][1])
+	}
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 3; i++ {
+			for k := i + 1; k < 3; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatalf("res=%v", res)
+	}
+}
+
+func TestModelSatisfiesClauses(t *testing.T) {
+	// Random 3-SAT near the easy region; every returned model must satisfy
+	// all clauses, and UNSAT verdicts must agree with brute force.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + r.Intn(5)
+		m := 2 * n
+		s := New()
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		clauses := make([][]int, m)
+		for i := range clauses {
+			c := make([]int, 3)
+			for j := range c {
+				v := vars[r.Intn(n)]
+				if r.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			clauses[i] = c
+			s.AddClause(c...)
+		}
+		model, res := s.Solve()
+		bruteSat := bruteForce(n, clauses)
+		switch res {
+		case Sat:
+			if !bruteSat {
+				t.Fatalf("trial %d: SAT but brute force says UNSAT", trial)
+			}
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if model[v] == (l > 0) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause %v", trial, c)
+				}
+			}
+		case Unsat:
+			if bruteSat {
+				t.Fatalf("trial %d: UNSAT but brute force found a model", trial)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected Unknown", trial)
+		}
+	}
+}
+
+func bruteForce(n int, clauses [][]int) bool {
+	for m := 0; m < 1<<n; m++ {
+		ok := true
+		for _, c := range clauses {
+			cOK := false
+			for _, l := range c {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				if (m>>(v-1)&1 == 1) == (l > 0) {
+					cOK = true
+					break
+				}
+			}
+			if !cOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMaxConflicts(t *testing.T) {
+	// A hard-ish instance with a decision budget of 1 should give Unknown
+	// (or solve instantly by propagation — accept either but not a wrong
+	// verdict).
+	s := New()
+	var p [5][4]int
+	for i := 0; i < 5; i++ {
+		lits := []int{}
+		for j := 0; j < 4; j++ {
+			p[i][j] = s.NewVar()
+			lits = append(lits, p[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 5; i++ {
+			for k := i + 1; k < 5; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+	s.MaxConflicts = 1
+	if _, res := s.Solve(); res == Sat {
+		t.Fatal("PHP(5,4) cannot be SAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.AddClause()
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatal("empty clause should be UNSAT")
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	if _, res := s.Solve(); res != Sat {
+		t.Fatal("no clauses should be SAT")
+	}
+}
+
+func TestPigeonhole76(t *testing.T) {
+	// PHP(7,6): a classically hard UNSAT family at small scale — CDCL
+	// should dispatch it in well under the conflict budget.
+	s := New()
+	const P, H = 7, 6
+	var p [P][H]int
+	for i := 0; i < P; i++ {
+		lits := []int{}
+		for j := 0; j < H; j++ {
+			p[i][j] = s.NewVar()
+			lits = append(lits, p[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < H; j++ {
+		for i := 0; i < P; i++ {
+			for k := i + 1; k < P; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+	s.MaxConflicts = 500000
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want Unsat", res)
+	}
+}
+
+func TestTautologicalClauseIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a, -a) // tautology: must not constrain anything
+	s.AddClause(-a)
+	model, res := s.Solve()
+	if res != Sat || model[a] {
+		t.Fatalf("res=%v model=%v", res, model)
+	}
+}
+
+func TestDuplicateLiteralsCollapsed(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, a, b, b)
+	s.AddClause(-a)
+	s.AddClause(-b)
+	if _, res := s.Solve(); res != Unsat {
+		t.Fatal("a∨b with ¬a, ¬b should be UNSAT")
+	}
+}

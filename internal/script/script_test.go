@@ -1,0 +1,89 @@
+package script
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/verify"
+)
+
+func TestScriptsPreserveFunction(t *testing.T) {
+	for _, name := range []string{"c17", "ripple4", "csel8", "rnd_a", "pla_a", "alu2"} {
+		raw := bench.Get(name)
+		for _, sc := range []struct {
+			label string
+			run   func(n *network.Network)
+		}{
+			{"A", A},
+			{"B", B},
+			{"C", C},
+		} {
+			nw := raw.Clone()
+			sc.run(nw)
+			if err := nw.Check(); err != nil {
+				t.Errorf("%s/%s: invalid network: %v", name, sc.label, err)
+				continue
+			}
+			if !verify.Equivalent(raw, nw) {
+				t.Errorf("%s: script %s broke equivalence", name, sc.label)
+			}
+		}
+	}
+}
+
+func TestAlgebraicFlowAllResubs(t *testing.T) {
+	for _, name := range []string{"c17", "csel8", "rnd_a", "pla_a"} {
+		raw := bench.Get(name)
+		for _, r := range []struct {
+			label string
+			resub Resub
+		}{
+			{"sis", ResubSIS},
+			{"basic", ResubRAR(core.Basic)},
+			{"ext", ResubRAR(core.Extended)},
+			{"extgdc", ResubRAR(core.ExtendedGDC)},
+		} {
+			nw := raw.Clone()
+			Algebraic(nw, r.resub)
+			boolNW := raw.Clone()
+			Boolean(boolNW, r.resub)
+			if err := boolNW.Check(); err != nil {
+				t.Errorf("%s/%s: boolean flow invalid: %v", name, r.label, err)
+			}
+			if !verify.Equivalent(raw, boolNW) {
+				t.Errorf("%s: boolean flow with %s broke equivalence", name, r.label)
+			}
+			if err := nw.Check(); err != nil {
+				t.Errorf("%s/%s: invalid network: %v", name, r.label, err)
+				continue
+			}
+			if !verify.Equivalent(raw, nw) {
+				t.Errorf("%s: algebraic flow with %s broke equivalence", name, r.label)
+			}
+		}
+	}
+}
+
+func TestScriptADeterministic(t *testing.T) {
+	a := bench.Get("csel8")
+	b := bench.Get("csel8")
+	A(a)
+	A(b)
+	if a.FactoredLits() != b.FactoredLits() || a.NumNodes() != b.NumNodes() {
+		t.Error("Script A is not deterministic")
+	}
+}
+
+func TestResubRARReducesOrKeeps(t *testing.T) {
+	for _, name := range []string{"csel8", "rnd_a", "pla_a"} {
+		nw := bench.Get(name)
+		A(nw)
+		before := nw.FactoredLits()
+		ResubRAR(core.Extended)(nw)
+		if nw.FactoredLits() > before {
+			t.Errorf("%s: resub grew literals %d → %d", name, before, nw.FactoredLits())
+		}
+	}
+}
