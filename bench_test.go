@@ -565,3 +565,35 @@ func BenchmarkSATSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSubstituteParallel measures the plan/commit engine's worker
+// scaling on the largest suite circuits: identical work at every worker
+// count (the committed networks are bit-identical — see
+// TestSubstituteWorkerCountInvariant), so the wall-clock ratio between w1
+// and w8 is the engine's parallel speedup. The lits metric is reported so
+// perf trajectories can confirm results did not move.
+func BenchmarkSubstituteParallel(b *testing.B) {
+	circuits := []string{"rnd_d", "rnd_e", "csel8", "mult3", "pla_c"}
+	prepared := make([]*network.Network, len(circuits))
+	for i, name := range circuits {
+		nw := bench.Get(name)
+		script.A(nw)
+		prepared[i] = nw
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, base := range prepared {
+					nw := base.Clone()
+					core.Substitute(nw, core.Options{
+						Config: core.Extended, POS: true, Pool: true, Workers: workers,
+					})
+					total += nw.FactoredLits()
+				}
+				b.ReportMetric(float64(total), "lits")
+			}
+		})
+	}
+}

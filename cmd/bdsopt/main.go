@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bdsopt [-script A|B|C|algebraic|none] [-alg sis|basic|ext|extgdc|none]
-//	       [-o out.blif] [-verify] [in.blif]
+//	       [-j N] [-o out.blif] [-verify] [in.blif]
 //
 // With no input file a benchmark name from the embedded suite may be given
 // via -bench. Examples:
@@ -36,6 +36,7 @@ func main() {
 	doVerify := flag.Bool("verify", false, "equivalence-check the result against the input")
 	quiet := flag.Bool("q", false, "suppress BLIF output, print statistics only")
 	redund := flag.Bool("redund", false, "finish with whole-network redundancy removal")
+	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	flag.Parse()
 
 	nw, err := load(*benchName, flag.Arg(0))
@@ -47,7 +48,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "in:  %d nodes, %d lits (sop), %d lits (fac)\n",
 		nw.NumNodes(), nw.SOPLits(), nw.FactoredLits())
 
-	resub := resubFor(*alg)
+	resub := resubFor(*alg, *workers)
 	switch *scriptName {
 	case "A":
 		script.A(nw)
@@ -121,16 +122,19 @@ func load(benchName, path string) (*network.Network, error) {
 	return blif.Parse(f)
 }
 
-func resubFor(alg string) script.Resub {
+func resubFor(alg string, workers int) script.Resub {
+	rar := func(cfg core.Config) script.Resub {
+		return script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: workers}, nil)
+	}
 	switch alg {
 	case "sis":
-		return script.ResubSIS
+		return script.ResubSISJ(workers)
 	case "basic":
-		return script.ResubRAR(core.Basic)
+		return rar(core.Basic)
 	case "ext":
-		return script.ResubRAR(core.Extended)
+		return rar(core.Extended)
 	case "extgdc":
-		return script.ResubRAR(core.ExtendedGDC)
+		return rar(core.ExtendedGDC)
 	case "none":
 		return nil
 	}

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-table N] [-circuits a,b,c] [-list]
+//	experiments [-table N] [-circuits a,b,c] [-list] [-j N] [-v] [-json]
 //
-// With no flags all four tables run over the whole suite.
+// With no flags all four tables run over the whole suite. -j bounds the
+// substitution engine's planner worker pool (results are bit-identical at
+// any value); -v additionally prints the engine's observability counters.
 package main
 
 import (
@@ -26,6 +28,8 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
+	verbose := flag.Bool("v", false, "print substitution engine counters (trials, depth rejections, cache hits, pass times)")
 	flag.Parse()
 
 	if *list {
@@ -49,12 +53,16 @@ func main() {
 	ok := true
 	var results []exp.Table
 	for _, t := range tables {
-		res := exp.Run(t, names)
+		res := exp.RunWith(t, names, exp.RunOptions{Workers: *workers})
 		if *asJSON {
 			results = append(results, res)
 		} else {
 			res.Print(os.Stdout)
 			fmt.Println()
+			if *verbose {
+				res.PrintStats(os.Stdout)
+				fmt.Println()
+			}
 		}
 		if !res.AllEquivalent() {
 			ok = false

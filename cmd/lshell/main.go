@@ -37,17 +37,19 @@ import (
 )
 
 type shell struct {
-	nw   *network.Network
-	ref  *network.Network // checkpoint for verify/revert
-	out  *os.File
-	errf func(format string, args ...any)
+	nw      *network.Network
+	ref     *network.Network // checkpoint for verify/revert
+	out     *os.File
+	errf    func(format string, args ...any)
+	workers int // planner pool bound for resub (0 = GOMAXPROCS)
 }
 
 func main() {
 	cmds := flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	flag.Parse()
 
-	sh := &shell{out: os.Stdout}
+	sh := &shell{out: os.Stdout, workers: *workers}
 	sh.errf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "lshell: "+format+"\n", args...) }
 
 	if *cmds != "" {
@@ -239,12 +241,12 @@ func (sh *shell) exec(line string) bool {
 		}
 		switch alg {
 		case "sis":
-			fmt.Fprintf(sh.out, "%d substitutions\n", opt.ResubAlgebraic(sh.nw, true))
+			fmt.Fprintf(sh.out, "%d substitutions\n", opt.ResubAlgebraicJ(sh.nw, true, sh.workers))
 		case "bdd":
 			fmt.Fprintf(sh.out, "%d substitutions\n", opt.ResubBDD(sh.nw))
 		case "basic", "ext", "extgdc":
 			cfg := map[string]core.Config{"basic": core.Basic, "ext": core.Extended, "extgdc": core.ExtendedGDC}[alg]
-			st := core.Substitute(sh.nw, core.Options{Config: cfg, POS: true, Pool: true})
+			st := core.Substitute(sh.nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: sh.workers})
 			fmt.Fprintf(sh.out, "%d substitutions (%d POS, %d decompositions), %d RAR wires, lits %d -> %d\n",
 				st.Substitutions, st.POSSubstitutions, st.Decompositions, st.WiresRemoved, st.LitsBefore, st.LitsAfter)
 		default:

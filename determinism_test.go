@@ -1,0 +1,49 @@
+// Determinism acceptance test for the plan/commit substitution engine:
+// core.Substitute must commit a byte-identical network at any worker count.
+// Every bench-suite circuit is run through all three configurations with
+// Workers=1 and Workers=8 and the results BLIF-compared.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/blif"
+	"repro/internal/core"
+	"repro/internal/script"
+)
+
+func TestSubstituteWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism sweep skipped in -short mode")
+	}
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"basic", core.Basic},
+		{"ext", core.Extended},
+		{"extgdc", core.ExtendedGDC},
+	}
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prepared := bench.Get(name)
+			script.Prepare(2, prepared)
+			for _, c := range configs {
+				opt := core.Options{Config: c.cfg, POS: true, Pool: true}
+				serial := prepared.Clone()
+				opt.Workers = 1
+				core.Substitute(serial, opt)
+				parallel := prepared.Clone()
+				opt.Workers = 8
+				core.Substitute(parallel, opt)
+				if a, b := blif.ToString(serial), blif.ToString(parallel); a != b {
+					t.Errorf("%s/%s: Workers=8 network differs from Workers=1\n--- serial ---\n%s\n--- parallel ---\n%s",
+						name, c.name, a, b)
+				}
+			}
+		})
+	}
+}

@@ -67,6 +67,30 @@ func NewEngine(nl *netlist.Netlist, opt Options) *Engine {
 	return e
 }
 
+// Rebind retargets an existing engine at a (possibly rebuilt) netlist,
+// reusing the value/queue arrays when their capacity suffices. It is the
+// arena analogue of NewEngine: a worker that rebuilds a fresh netlist for
+// every division trial keeps one Engine and Rebinds it instead of
+// reallocating. The rebound engine starts fully cleared.
+func (e *Engine) Rebind(nl *netlist.Netlist, opt Options) {
+	n := nl.NumGates()
+	e.nl = nl
+	e.opt = opt
+	if cap(e.val) < n {
+		e.val = make([]Value, n)
+		e.inQ = make([]bool, n)
+	} else {
+		e.val = e.val[:n]
+		e.inQ = e.inQ[:n]
+	}
+	for i := range e.val {
+		e.val[i] = Unknown
+		e.inQ[i] = false
+	}
+	e.trail = e.trail[:0]
+	e.queue = e.queue[:0]
+}
+
 // Reset clears all assignments.
 func (e *Engine) Reset() {
 	for _, g := range e.trail {

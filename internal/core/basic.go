@@ -31,7 +31,13 @@ type DivideResult struct {
 // Fig. 2), then remove redundancies inside the region. Returns ok=false when
 // d is not usable (no cube of f is contained by a cube of d, or using d
 // would create a cycle).
-func BasicDivide(nw *network.Network, f, d string, cfg Config) (*DivideResult, bool) {
+func BasicDivide(nw network.Reader, f, d string, cfg Config) (*DivideResult, bool) {
+	return basicDivide(newScratch(), nw, f, d, cfg)
+}
+
+// basicDivide is BasicDivide with an explicit scratch arena (the engine's
+// worker pool hands each worker its own).
+func basicDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*DivideResult, bool) {
 	fn, dn := nw.Node(f), nw.Node(d)
 	if fn == nil || dn == nil || f == d {
 		return nil, false
@@ -49,7 +55,7 @@ func BasicDivide(nw *network.Network, f, d string, cfg Config) (*DivideResult, b
 	if qPart.IsZero() {
 		return nil, false
 	}
-	return divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Pos, false)
+	return divideWithParts(sc, nw, f, d, union, qPart, rem, cfg, cube.Pos, false)
 }
 
 // BasicDivideCompl divides node f by the COMPLEMENT of node d: the quotient
@@ -57,7 +63,12 @@ func BasicDivide(nw *network.Network, f, d string, cfg Config) (*DivideResult, b
 // complement phase the SIS `resub -d` baseline exploits, with the same RAR
 // redundancy removal making it Boolean. maxCompl bounds the divisor
 // complement size (0 = default).
-func BasicDivideCompl(nw *network.Network, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+func BasicDivideCompl(nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+	return basicDivideCompl(newScratch(), nw, f, d, cfg, maxCompl)
+}
+
+// basicDivideCompl is BasicDivideCompl with an explicit scratch arena.
+func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
 	if maxCompl <= 0 {
 		maxCompl = DefaultMaxComplementCubes
 	}
@@ -82,7 +93,7 @@ func BasicDivideCompl(nw *network.Network, f, d string, cfg Config, maxCompl int
 	if qPart.IsZero() {
 		return nil, false
 	}
-	return divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Neg, false)
+	return divideWithParts(sc, nw, f, d, union, qPart, rem, cfg, cube.Neg, false)
 }
 
 // divideWithParts finishes a division given the SOS split: it installs the
@@ -90,7 +101,7 @@ func BasicDivideCompl(nw *network.Network, f, d string, cfg Config, maxCompl int
 // the given phase — negative for complement-phase division and for the POS
 // dual, where the caller post-processes the complement), runs RAR
 // redundancy removal in the region, and extracts the result.
-func divideWithParts(nw *network.Network, f, d string, union []string, qPart, rem cube.Cover, cfg Config, yPhase cube.Phase, markPOS bool) (*DivideResult, bool) {
+func divideWithParts(sc *scratch, nw network.Reader, f, d string, union []string, qPart, rem cube.Cover, cfg Config, yPhase cube.Phase, markPOS bool) (*DivideResult, bool) {
 	// Variable space: union signals plus the divisor signal.
 	space := union
 	yIdx := indexOf(union, d)
@@ -133,7 +144,7 @@ func divideWithParts(nw *network.Network, f, d string, union []string, qPart, re
 		return nil, false
 	}
 
-	removed := runRegionRAR(work, f, d, cfg)
+	removed := runRegionRAR(sc, work, f, d, cfg)
 
 	fn := work.Node(f)
 	res := &DivideResult{
@@ -163,10 +174,10 @@ func divideWithParts(nw *network.Network, f, d string, union []string, qPart, re
 // and define the division form. Removals are extracted back into the node's
 // SOP after every pass (a removal can enable further removals). Returns the
 // number of wires removed.
-func runRegionRAR(work *network.Network, f, d string, cfg Config) int {
+func runRegionRAR(sc *scratch, work *network.Network, f, d string, cfg Config) int {
 	removed := 0
 	for pass := 0; pass < 8; pass++ {
-		b := netlist.FromNetwork(work)
+		b := sc.b.Build(work)
 		nl := b.NL
 		ng := b.Nodes[f]
 		opt := atpg.Options{}
@@ -178,7 +189,7 @@ func runRegionRAR(work *network.Network, f, d string, cfg Config) int {
 		default:
 			opt.Scope = localScope(b, nl, f, d)
 		}
-		e := atpg.NewEngine(nl, opt)
+		e := sc.engine(nl, opt)
 
 		// Divisor literal gates to protect (positive and, for POS, the
 		// cached inverter).

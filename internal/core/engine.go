@@ -1,0 +1,347 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebraic"
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// This file is the plan/commit substitution engine. Substitution splits
+// into three stages:
+//
+//	planner   — evaluates one (dividend, divisor) trial against a read-only
+//	            view of the network (network.Reader) and returns a pure-data
+//	            plan. Planners never mutate shared state: every division
+//	            runs on a private clone, and per-worker scratch arenas hold
+//	            all reusable buffers. Plans are therefore evaluable
+//	            concurrently.
+//	reducer   — walks completed plans in the deterministic candidate order
+//	            (the same order the serial driver tries them in) and picks
+//	            which plan to commit, so the result is bit-identical at any
+//	            worker count.
+//	committer — applies the chosen plan to the live network serially,
+//	            invalidates the pass caches, enforces the depth budget, and
+//	            updates statistics.
+//
+// Determinism argument: a plan captures the full replacement (node function
+// or whole rewritten network) and its gain, computed from the pre-commit
+// network state. The reducer visits plans in candidate order; committing
+// plan k and then consulting plan k+1 is equivalent to the serial schedule
+// because (a) a successful commit ends the node's trials exactly as the
+// serial first-positive rule does, and (b) a depth-rejected commit is
+// undone byte-exactly (the node's previous fanins/cover, or a whole-network
+// snapshot, are restored verbatim), so the state plan k+1 was evaluated
+// against is the state it commits against.
+
+// plan is one evaluated division candidate, as pure data: the gain it
+// achieves and the replacement that realizes it. Exactly one of the two
+// replacement shapes is set: a node-function rewrite (newFanins/newCover,
+// for basic, complement-phase, and POS division) or a whole-network rewrite
+// (work/touched, for extended division's divisor decomposition and for
+// pooled division).
+type plan struct {
+	target  string // dividend node the plan rewrites
+	divisor string // divisor the plan used (informational)
+	gain    int    // factored-literal gain (positive = smaller)
+	pos     bool   // plan is a POS-form substitution
+	dec     bool   // plan decomposes the divisor
+	removed int    // RAR wire removals performed by the division
+
+	// Node-function rewrite (work == nil).
+	newFanins []string
+	newCover  cube.Cover
+
+	// Whole-network rewrite: commit copies work over the live network and
+	// invalidates the touched node names in the pass caches.
+	work    *network.Network
+	touched []string
+}
+
+// isNode reports whether the plan is a node-function rewrite.
+func (p *plan) isNode() bool { return p.work == nil }
+
+// planPair evaluates one (dividend, divisor) division in the given form
+// against a read-only view of the network, without committing anything.
+// ok=false when no division exists. planPair is pure: it is safe to call
+// concurrently on the same Reader as long as each call owns its scratch.
+func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Options) (plan, bool) {
+	d := cand.name
+	fn := nw.Node(f)
+	costBefore := algebraic.FactorLits(fn.Cover)
+	// Windowed division: bound the sub-network the division sees.
+	nwd := nw
+	if opt.WindowDepth > 0 {
+		nwd = windowFor(nw, f, d, opt.WindowDepth)
+	}
+
+	nodePlan := func(res *DivideResult, pos bool) plan {
+		return plan{
+			target:    f,
+			divisor:   d,
+			gain:      costBefore - algebraic.FactorLits(res.Cover),
+			pos:       pos,
+			removed:   res.WiresRemoved,
+			newFanins: res.Fanins,
+			newCover:  res.Cover,
+		}
+	}
+
+	if cand.neg {
+		res, ok := basicDivideCompl(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		if !ok {
+			return plan{}, false
+		}
+		return nodePlan(res, false), true
+	}
+	if cand.pos {
+		res, ok := posDivide(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		if !ok {
+			return plan{}, false
+		}
+		return nodePlan(res, true), true
+	}
+
+	switch opt.Config {
+	case Basic:
+		res, ok := basicDivide(sc, nwd, f, d, opt.Config)
+		if !ok {
+			return plan{}, false
+		}
+		return nodePlan(res, false), true
+
+	default: // Extended / ExtendedGDC
+		dn := nw.Node(d)
+		before := costBefore + algebraic.FactorLits(dn.Cover)
+
+		// Extended division generalizes basic division; evaluate both and
+		// keep the better (the core-selection heuristic can otherwise pick
+		// a decomposition where the whole divisor would gain more).
+		extGain := -1 << 30
+		var extWork *network.Network
+		var extRes *DivideResult
+		var extDec *Decomposition
+		if work, res, dec, ok := extendedDivide(sc, nw, f, d, opt.Config); ok {
+			after := algebraic.FactorLits(work.Node(f).Cover) + algebraic.FactorLits(work.Node(d).Cover)
+			if dec != nil {
+				after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
+			}
+			extGain = before - after
+			extWork, extRes, extDec = work, res, dec
+		}
+		basicGain := -1 << 30
+		var basicRes *DivideResult
+		if res, ok := basicDivide(sc, nwd, f, d, opt.Config); ok {
+			basicGain = costBefore - algebraic.FactorLits(res.Cover)
+			basicRes = res
+		}
+		if basicRes == nil && extWork == nil {
+			return plan{}, false
+		}
+		if basicGain >= extGain {
+			p := nodePlan(basicRes, false)
+			p.gain = basicGain
+			return p, true
+		}
+		return plan{
+			target:  f,
+			divisor: d,
+			gain:    extGain,
+			dec:     extDec != nil,
+			removed: extRes.WiresRemoved,
+			work:    extWork,
+			touched: []string{f, d},
+		}, true
+	}
+}
+
+// planPooled evaluates one multi-node pooled extended division for f using
+// up to four of the SOP candidates as the divisor pool. Like planPair it is
+// pure; ok=false when no pooled division with positive total gain (f plus
+// any created/rewritten nodes) exists.
+func planPooled(sc *scratch, nw network.Reader, f string, cands []candidate, opt Options) (plan, bool) {
+	var pool []string
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if c.pos || c.neg || seen[c.name] {
+			continue
+		}
+		seen[c.name] = true
+		pool = append(pool, c.name)
+		if len(pool) == 4 {
+			break
+		}
+	}
+	if len(pool) < 2 {
+		return plan{}, false
+	}
+	fn := nw.Node(f)
+	before := algebraic.FactorLits(fn.Cover)
+	touched := map[string]bool{f: true}
+	for _, d := range pool {
+		before += algebraic.FactorLits(nw.Node(d).Cover)
+		touched[d] = true
+	}
+	work, res, dec, ok := pooledExtendedDivide(sc, nw, f, pool, opt.Config)
+	if !ok {
+		return plan{}, false
+	}
+	after := 0
+	if dec != nil && work.Node(dec.CoreName) != nil {
+		after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
+	}
+	for name := range touched {
+		if n := work.Node(name); n != nil {
+			after += algebraic.FactorLits(n.Cover)
+		}
+	}
+	if dec != nil {
+		touched[dec.CoreName] = true
+	}
+	if before-after <= 0 {
+		return plan{}, false
+	}
+	names := make([]string, 0, len(touched))
+	for name := range touched {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return plan{
+		target:  f,
+		gain:    before - after,
+		dec:     dec != nil,
+		removed: res.WiresRemoved,
+		work:    work,
+		touched: names,
+	}, true
+}
+
+// commitPlan is the serial committer: it applies a plan to the live
+// network, invalidates the pass caches for every name the plan touches,
+// enforces the depth budget when set (undoing the commit byte-exactly on
+// violation), and updates statistics. Returns whether the plan stuck.
+func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
+	invalidate := func() {
+		if p.isNode() {
+			cc.invalidate(p.target)
+			sigs.invalidate(p.target)
+			return
+		}
+		for _, name := range p.touched {
+			cc.invalidate(name)
+			sigs.invalidate(name)
+		}
+	}
+
+	if p.isNode() {
+		// Snapshot for undo only when a depth budget can reject the commit.
+		var oldFanins []string
+		var oldCover cube.Cover
+		if opt.DepthBudget > 0 {
+			old := nw.Node(p.target)
+			oldFanins = append([]string(nil), old.Fanins...)
+			oldCover = old.Cover.Clone()
+		}
+		if !commitNode(nw, p.target, p.newFanins, p.newCover) {
+			return false
+		}
+		invalidate()
+		if opt.DepthBudget > 0 {
+			if _, depth := nw.Levels(); depth > opt.DepthBudget {
+				_ = nw.ReplaceNodeFunction(p.target, oldFanins, oldCover)
+				invalidate()
+				st.DepthRejected++
+				return false
+			}
+		}
+	} else {
+		var snapshot *network.Network
+		if opt.DepthBudget > 0 {
+			snapshot = nw.Clone()
+		}
+		nw.CopyFrom(p.work)
+		invalidate()
+		if opt.DepthBudget > 0 {
+			if _, depth := nw.Levels(); depth > opt.DepthBudget {
+				nw.CopyFrom(snapshot)
+				invalidate()
+				st.DepthRejected++
+				return false
+			}
+		}
+	}
+
+	st.Substitutions++
+	if p.pos {
+		st.POSSubstitutions++
+	}
+	if p.dec {
+		st.Decompositions++
+	}
+	st.WiresRemoved += p.removed
+	return true
+}
+
+// planResult is one slot of a fan-out batch.
+type planResult struct {
+	p  plan
+	ok bool
+}
+
+// evaluator fans planPair calls over a bounded worker pool. Each worker
+// owns one scratch arena for its lifetime; results land in a slice indexed
+// by candidate position, so the reducer sees them in deterministic order
+// regardless of completion order.
+type evaluator struct {
+	workers   int
+	scratches []*scratch
+}
+
+func newEvaluator(workers int) *evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	ev := &evaluator{workers: workers, scratches: make([]*scratch, workers)}
+	for i := range ev.scratches {
+		ev.scratches[i] = newScratch()
+	}
+	return ev
+}
+
+// plans evaluates every candidate in cands against nw and returns the
+// results in candidate order. With one worker (or one candidate) the
+// evaluation is inlined — no goroutines, identical to the historical serial
+// driver including allocation behavior.
+func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options) []planResult {
+	res := make([]planResult, len(cands))
+	if ev.workers == 1 || len(cands) <= 1 {
+		for i, c := range cands {
+			res[i].p, res[i].ok = planPair(ev.scratches[0], nw, f, c, opt)
+		}
+		return res
+	}
+	n := ev.workers
+	if n > len(cands) {
+		n = len(cands)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				res[i].p, res[i].ok = planPair(sc, nw, f, cands[i], opt)
+			}
+		}(ev.scratches[w])
+	}
+	wg.Wait()
+	return res
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blif"
+	"repro/internal/network"
+	"repro/internal/verify"
+)
+
+// substituteBothWays runs Substitute serially and with an 8-worker pool on
+// clones of base and asserts the committed networks are byte-identical
+// (BLIF-serialized). Returns the serial result for further checks.
+func substituteBothWays(t *testing.T, base *network.Network, opt Options, label string) *network.Network {
+	t.Helper()
+	serial := base.Clone()
+	optSerial := opt
+	optSerial.Workers = 1
+	stS := Substitute(serial, optSerial)
+	par := base.Clone()
+	optPar := opt
+	optPar.Workers = 8
+	stP := Substitute(par, optPar)
+	if a, b := blif.ToString(serial), blif.ToString(par); a != b {
+		t.Fatalf("%s: Workers=8 diverged from Workers=1\nserial (stats %+v):\n%s\nparallel (stats %+v):\n%s",
+			label, stS, a, stP, b)
+	}
+	if stS.Substitutions != stP.Substitutions || stS.LitsAfter != stP.LitsAfter {
+		t.Errorf("%s: committed stats diverged: serial %+v parallel %+v", label, stS, stP)
+	}
+	return serial
+}
+
+func TestSubstituteParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		base := randomDAG(r, 4, 7)
+		for _, cfg := range []Config{Basic, Extended, ExtendedGDC} {
+			got := substituteBothWays(t, base, Options{Config: cfg, POS: true, Pool: true}, "rand")
+			if !verify.Equivalent(base, got) {
+				t.Fatalf("trial %d cfg %v: equivalence broken", trial, cfg)
+			}
+		}
+	}
+}
+
+func TestSubstituteParallelMatchesSerialVariants(t *testing.T) {
+	// Option corners where the reducer schedule differs from the plain
+	// first-positive walk: best-gain acceptance, depth-budget rejection
+	// (commit-undo inside a wave), and windowed trials.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		base := randomDAG(r, 4, 7)
+		_, depth := base.Levels()
+		substituteBothWays(t, base, Options{Config: Extended, POS: true, BestGain: true}, "bestgain")
+		substituteBothWays(t, base, Options{Config: Extended, POS: true, DepthBudget: depth}, "depthbudget")
+		substituteBothWays(t, base, Options{Config: Extended, POS: true, WindowDepth: 2}, "window")
+	}
+	substituteBothWays(t, gainNetwork(), Options{Config: Basic}, "gain")
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var acc Stats
+	acc.Accumulate(Stats{LitsBefore: 10, LitsAfter: 8, Substitutions: 2, Passes: 1, DivisorTrials: 5})
+	acc.Accumulate(Stats{LitsBefore: 8, LitsAfter: 7, Substitutions: 1, Passes: 2, DivisorTrials: 3})
+	if acc.LitsBefore != 10 || acc.LitsAfter != 7 {
+		t.Errorf("literal tracking wrong: %+v", acc)
+	}
+	if acc.Substitutions != 3 || acc.Passes != 3 || acc.DivisorTrials != 8 {
+		t.Errorf("counter sums wrong: %+v", acc)
+	}
+}
+
+func TestSubstituteObservabilityCounters(t *testing.T) {
+	nw := gainNetwork()
+	st := Substitute(nw, Options{Config: Basic})
+	if st.Passes == 0 || len(st.PassTimes) != st.Passes {
+		t.Errorf("pass accounting wrong: %+v", st)
+	}
+	if st.DivisorTrials == 0 {
+		t.Errorf("no divisor trials recorded: %+v", st)
+	}
+	if st.SigCacheHits+st.SigCacheMisses == 0 {
+		t.Errorf("no signature cache traffic recorded: %+v", st)
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/cube"
-	"repro/internal/netlist"
 	"repro/internal/network"
 )
 
@@ -35,12 +34,19 @@ const maxCoreCubes = 64
 // f by node d (Section IV): inject each dividend wire's stuck-at-1 fault,
 // run implications, and record the divisor cubes implied to 0. Returns
 // ok=false when the pair is structurally unusable.
-func VoteTable(nw *network.Network, f, d string, cfg Config) ([]Vote, bool) {
+func VoteTable(nw network.Reader, f, d string, cfg Config) ([]Vote, bool) {
+	return voteTable(newScratch(), nw, f, d, cfg)
+}
+
+// voteTable is VoteTable with an explicit scratch arena. The votes are
+// extracted as plain values before the scratch is reused, so a single
+// scratch can serve the vote table and the division that follows it.
+func voteTable(sc *scratch, nw network.Reader, f, d string, cfg Config) ([]Vote, bool) {
 	fn, dn := nw.Node(f), nw.Node(d)
 	if fn == nil || dn == nil || f == d || nw.DependsOn(d, f) {
 		return nil, false
 	}
-	b := netlist.FromNetwork(nw)
+	b := sc.b.Build(nw)
 	nl := b.NL
 	ngF, ngD := b.Nodes[f], b.Nodes[d]
 
@@ -52,7 +58,7 @@ func VoteTable(nw *network.Network, f, d string, cfg Config) ([]Vote, bool) {
 	} else {
 		opt.Scope = localScope(b, nl, f, d)
 	}
-	e := atpg.NewEngine(nl, opt)
+	e := sc.engine(nl, opt)
 
 	// Containment data in the union space for validity checks.
 	union := unionSignals(fn.Fanins, dn.Fanins)
@@ -178,12 +184,17 @@ type Decomposition struct {
 // (Section IV). The returned network is a fully rewritten clone (node f
 // replaced; d decomposed when needed); the caller decides acceptance by
 // comparing costs. ok=false when no division is possible.
-func ExtendedDivide(nw *network.Network, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+func ExtendedDivide(nw network.Reader, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+	return extendedDivide(newScratch(), nw, f, d, cfg)
+}
+
+// extendedDivide is ExtendedDivide with an explicit scratch arena.
+func extendedDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
 	fn, dn := nw.Node(f), nw.Node(d)
 	if fn == nil || dn == nil {
 		return nil, nil, nil, false
 	}
-	votes, ok := VoteTable(nw, f, d, cfg)
+	votes, ok := voteTable(sc, nw, f, d, cfg)
 	if !ok {
 		return nil, nil, nil, false
 	}
@@ -200,7 +211,7 @@ func ExtendedDivide(nw *network.Network, f, d string, cfg Config) (*network.Netw
 	}
 	if mask == maskAll(nD) && nD == dn.Cover.NumCubes() {
 		// Core is the whole divisor: plain basic division.
-		res, ok := BasicDivide(nw, f, d, cfg)
+		res, ok := basicDivide(sc, nw, f, d, cfg)
 		if !ok {
 			return nil, nil, nil, false
 		}
@@ -245,7 +256,7 @@ func ExtendedDivide(nw *network.Network, f, d string, cfg Config) (*network.Netw
 	}
 	work.NormalizeNode(d)
 
-	res, ok := BasicDivide(work, f, coreName, cfg)
+	res, ok := basicDivide(sc, work, f, coreName, cfg)
 	if !ok {
 		return nil, nil, nil, false
 	}

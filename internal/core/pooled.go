@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/atpg"
 	"repro/internal/cube"
-	"repro/internal/netlist"
 	"repro/internal/network"
 )
 
@@ -34,7 +33,12 @@ type PooledVote struct {
 // the given divisor nodes (first maxCoreCubes pooled cubes vote). Returns
 // the votes, the pool layout, the union signal space used for validity
 // checks, and ok.
-func PooledVoteTable(nw *network.Network, f string, divisors []string, cfg Config) ([]PooledVote, []PoolEntry, []string, bool) {
+func PooledVoteTable(nw network.Reader, f string, divisors []string, cfg Config) ([]PooledVote, []PoolEntry, []string, bool) {
+	return pooledVoteTable(newScratch(), nw, f, divisors, cfg)
+}
+
+// pooledVoteTable is PooledVoteTable with an explicit scratch arena.
+func pooledVoteTable(sc *scratch, nw network.Reader, f string, divisors []string, cfg Config) ([]PooledVote, []PoolEntry, []string, bool) {
 	fn := nw.Node(f)
 	if fn == nil || len(divisors) == 0 {
 		return nil, nil, nil, false
@@ -48,7 +52,7 @@ func PooledVoteTable(nw *network.Network, f string, divisors []string, cfg Confi
 		union = unionSignals(union, dn.Fanins)
 	}
 
-	b := netlist.FromNetwork(nw)
+	b := sc.b.Build(nw)
 	nl := b.NL
 	ngF := b.Nodes[f]
 
@@ -66,7 +70,7 @@ func PooledVoteTable(nw *network.Network, f string, divisors []string, cfg Confi
 		}
 		opt.Scope = scope
 	}
-	e := atpg.NewEngine(nl, opt)
+	e := sc.engine(nl, opt)
 
 	// Pool layout and per-entry cube in the union space.
 	var pool []PoolEntry
@@ -173,8 +177,14 @@ func onesCount(m uint64) int {
 // returned network is a rewritten clone; dec describes the decomposition
 // (dec.CoreName is the new core node; when the core spans several divisor
 // nodes, no divisor is rewritten and the core stands alone).
-func PooledExtendedDivide(nw *network.Network, f string, divisors []string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
-	votes, pool, union, ok := PooledVoteTable(nw, f, divisors, cfg)
+func PooledExtendedDivide(nw network.Reader, f string, divisors []string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+	return pooledExtendedDivide(newScratch(), nw, f, divisors, cfg)
+}
+
+// pooledExtendedDivide is PooledExtendedDivide with an explicit scratch
+// arena.
+func pooledExtendedDivide(sc *scratch, nw network.Reader, f string, divisors []string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+	votes, pool, union, ok := pooledVoteTable(sc, nw, f, divisors, cfg)
 	if !ok {
 		return nil, nil, nil, false
 	}
@@ -200,7 +210,7 @@ func PooledExtendedDivide(nw *network.Network, f string, divisors []string, cfg 
 	}
 	if len(contrib) == 1 {
 		for d := range contrib {
-			return ExtendedDivide(nw, f, d, cfg)
+			return extendedDivide(sc, nw, f, d, cfg)
 		}
 	}
 
@@ -217,7 +227,7 @@ func PooledExtendedDivide(nw *network.Network, f string, divisors []string, cfg 
 	work.AddNode(coreName, union, coreCover.SCC())
 	work.NormalizeNode(coreName)
 
-	res, ok := BasicDivide(work, f, coreName, cfg)
+	res, ok := basicDivide(sc, work, f, coreName, cfg)
 	if !ok {
 		return nil, nil, nil, false
 	}

@@ -21,7 +21,12 @@ const DefaultMaxComplementCubes = 24
 // POS division always uses region-local implications (the scratch
 // complement structure must not be observed downstream), so cfg degrades
 // ExtendedGDC to Extended internally.
-func PosDivide(nw *network.Network, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+func PosDivide(nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+	return posDivide(newScratch(), nw, f, d, cfg, maxCompl)
+}
+
+// posDivide is PosDivide with an explicit scratch arena.
+func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
 	if maxCompl <= 0 {
 		maxCompl = DefaultMaxComplementCubes
 	}
@@ -56,7 +61,7 @@ func PosDivide(nw *network.Network, f, d string, cfg Config, maxCompl int) (*Div
 	if cfg == ExtendedGDC {
 		cfg = Extended
 	}
-	res, ok := divideWithParts(nw, f, d, union, qPart, rem, cfg, cube.Neg, true)
+	res, ok := divideWithParts(sc, nw, f, d, union, qPart, rem, cfg, cube.Neg, true)
 	if !ok {
 		return nil, false
 	}
@@ -78,24 +83,30 @@ func PosDivide(nw *network.Network, f, d string, cfg Config, maxCompl int) (*Div
 }
 
 // complCache memoizes per-node complement covers during a substitution
-// pass.
+// pass. It lives on the serial side of the engine (candidate enumeration
+// and commit); planners never touch it, so it needs no locking. The
+// hit/miss counters feed Stats.
 type complCache struct {
-	max int
-	m   map[string]cube.Cover
-	bad map[string]bool
+	max          int
+	m            map[string]cube.Cover
+	bad          map[string]bool
+	hits, misses int
 }
 
 func newComplCache(max int) *complCache {
 	return &complCache{max: max, m: make(map[string]cube.Cover), bad: make(map[string]bool)}
 }
 
-func (cc *complCache) get(nw *network.Network, name string) (cube.Cover, bool) {
+func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
 	if cc.bad[name] {
+		cc.hits++
 		return cube.Cover{}, false
 	}
 	if c, ok := cc.m[name]; ok {
+		cc.hits++
 		return c, true
 	}
+	cc.misses++
 	n := nw.Node(name)
 	if n == nil {
 		cc.bad[name] = true

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// scratch is the per-worker arena for division trials: one netlist builder
+// and one implication engine, both reset (not reallocated) between trials.
+// Every division evaluation rebuilds a netlist for its working network and
+// runs implications over it; with one scratch per worker those rebuilds
+// recycle the gate arena and the engine's value/queue arrays trial after
+// trial. A scratch is owned by exactly one goroutine at a time and carries
+// no state across trials beyond raw capacity.
+type scratch struct {
+	b *netlist.Builder
+	e *atpg.Engine
+}
+
+func newScratch() *scratch {
+	return &scratch{b: netlist.NewBuilder()}
+}
+
+// engine returns the scratch's implication engine rebound to nl with the
+// given options, creating it on first use.
+func (sc *scratch) engine(nl *netlist.Netlist, opt atpg.Options) *atpg.Engine {
+	if sc.e == nil {
+		sc.e = atpg.NewEngine(nl, opt)
+		return sc.e
+	}
+	sc.e.Rebind(nl, opt)
+	return sc.e
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"time"
 
-	"repro/internal/algebraic"
 	"repro/internal/cube"
 	"repro/internal/mini"
 	"repro/internal/network"
@@ -44,6 +45,12 @@ type Options struct {
 	// the network's logic depth beyond the budget — the delay-aware mode
 	// (substitution reuses deep signals and can otherwise lengthen paths).
 	DepthBudget int
+	// Workers bounds the planner worker pool: divisor trials for a node are
+	// evaluated by up to this many goroutines against a read-only view of
+	// the network, then committed serially in deterministic order (0 =
+	// GOMAXPROCS). The committed network is bit-identical at any worker
+	// count; only wall time changes.
+	Workers int
 }
 
 // Stats summarizes a substitution run.
@@ -58,6 +65,46 @@ type Stats struct {
 	WiresRemoved int
 	// LitsBefore/LitsAfter are factored-form literal totals.
 	LitsBefore, LitsAfter int
+	// DivisorTrials counts evaluated division plans. With Workers > 1 the
+	// count can exceed a serial run's: a whole wave of trials is planned
+	// before the reducer knows the first one committed.
+	DivisorTrials int
+	// DepthRejected counts plans whose commit was undone because the result
+	// exceeded Options.DepthBudget.
+	DepthRejected int
+	// SigCacheHits/SigCacheMisses count lookups of per-node cube literal
+	// signatures during candidate filtering.
+	SigCacheHits, SigCacheMisses int
+	// ComplCacheHits/ComplCacheMisses count memoized complement-cover
+	// lookups (POS and complement-phase filtering).
+	ComplCacheHits, ComplCacheMisses int
+	// Passes counts completed sweeps over the network.
+	Passes int
+	// PassTimes records wall time per pass.
+	PassTimes []time.Duration
+}
+
+// Accumulate folds another run's statistics into s: counters are summed and
+// pass times appended. LitsBefore keeps the first accumulated run's value
+// (when s is zero) and LitsAfter always tracks the latest run, so a
+// multi-call flow reports its end-to-end literal movement.
+func (s *Stats) Accumulate(o Stats) {
+	if s.Passes == 0 && s.LitsBefore == 0 {
+		s.LitsBefore = o.LitsBefore
+	}
+	s.LitsAfter = o.LitsAfter
+	s.Substitutions += o.Substitutions
+	s.POSSubstitutions += o.POSSubstitutions
+	s.Decompositions += o.Decompositions
+	s.WiresRemoved += o.WiresRemoved
+	s.DivisorTrials += o.DivisorTrials
+	s.DepthRejected += o.DepthRejected
+	s.SigCacheHits += o.SigCacheHits
+	s.SigCacheMisses += o.SigCacheMisses
+	s.ComplCacheHits += o.ComplCacheHits
+	s.ComplCacheMisses += o.ComplCacheMisses
+	s.Passes += o.Passes
+	s.PassTimes = append(s.PassTimes, o.PassTimes...)
 }
 
 // Substitute runs Boolean substitution over the whole network with the
@@ -65,6 +112,12 @@ type Stats struct {
 // deterministic order and the first division with a positive factored-
 // literal gain is committed. Passes repeat until a fixed point (bounded by
 // MaxPasses).
+//
+// Trials are evaluated by the plan/commit engine (see engine.go): waves of
+// up to Options.Workers candidate divisions are planned concurrently
+// against a read-only view, then reduced in candidate order and committed
+// serially, so the result is identical to the serial schedule at any
+// worker count.
 func Substitute(nw *network.Network, opt Options) Stats {
 	maxPasses := opt.MaxPasses
 	if maxPasses == 0 {
@@ -78,9 +131,15 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	if maxCompl <= 0 {
 		maxCompl = DefaultMaxComplementCubes
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ev := newEvaluator(workers)
 	st := Stats{LitsBefore: nw.FactoredLits()}
 
 	for pass := 0; pass < maxPasses; pass++ {
+		passStart := time.Now()
 		changed := false
 		cc := newComplCache(maxCompl)
 		sigs := newSigCache(nw)
@@ -94,43 +153,71 @@ func Substitute(nw *network.Network, opt Options) Stats {
 				continue
 			}
 			cands := candidateDivisors(nw, sigs, cc, f, opt)
-			trials := 0
+			if len(cands) > maxTrials {
+				cands = cands[:maxTrials]
+			}
 			committed := false
 			if opt.BestGain {
-				// Evaluate every candidate and commit the best gain.
+				// Evaluate every candidate and commit the best gain (ties
+				// broken toward the earliest candidate, like the serial scan).
+				results := ev.plans(nw, f, cands, opt)
+				st.DivisorTrials += len(cands)
 				best := plan{gain: 0}
-				for _, cand := range cands {
-					if trials >= maxTrials {
-						break
-					}
-					trials++
-					if p, ok := planPair(nw, f, cand, opt, cc, sigs); ok && p.gain > best.gain {
-						best = p
+				for _, r := range results {
+					if r.ok && r.p.gain > best.gain {
+						best = r.p
 					}
 				}
-				if best.gain > 0 && commitPlan(nw, best, opt, &st) {
+				if best.gain > 0 && commitPlan(nw, best, opt, cc, sigs, &st) {
 					changed = true
 					committed = true
 				}
 			} else {
-				for _, cand := range cands {
-					if trials >= maxTrials {
-						break
+				// First-positive-gain rule, in waves of one planner batch:
+				// the reducer walks each wave in candidate order and commits
+				// the first positive-gain plan, exactly like the serial scan
+				// (with Workers=1 the wave size is 1 and the schedule is the
+				// historical one, trial for trial).
+				wave := ev.workers
+				for start := 0; start < len(cands) && !committed; start += wave {
+					end := start + wave
+					if end > len(cands) {
+						end = len(cands)
 					}
-					trials++
-					if tryPair(nw, f, cand, opt, cc, sigs, &st) {
-						changed = true
-						committed = true
-						break // paper: take the first positive-gain division
+					results := ev.plans(nw, f, cands[start:end], opt)
+					st.DivisorTrials += end - start
+					for _, r := range results {
+						if !r.ok || r.p.gain <= 0 {
+							continue
+						}
+						if commitPlan(nw, r.p, opt, cc, sigs, &st) {
+							changed = true
+							committed = true
+							break // paper: take the first positive-gain division
+						}
+						// Depth-rejected commit was undone byte-exactly;
+						// the remaining plans of the wave are still valid.
 					}
 				}
 			}
 			if !committed && opt.Pool && opt.Config != Basic {
-				if tryPooled(nw, f, cands, opt, cc, sigs, &st) {
-					changed = true
+				if p, ok := planPooled(ev.scratches[0], nw, f, cands, opt); ok {
+					// Pooled divisions historically bypass the depth budget:
+					// they only run when nothing else committed.
+					poolOpt := opt
+					poolOpt.DepthBudget = 0
+					if commitPlan(nw, p, poolOpt, cc, sigs, &st) {
+						changed = true
+					}
 				}
 			}
 		}
+		st.Passes++
+		st.PassTimes = append(st.PassTimes, time.Since(passStart))
+		st.SigCacheHits += sigs.hits
+		st.SigCacheMisses += sigs.misses
+		st.ComplCacheHits += cc.hits
+		st.ComplCacheMisses += cc.misses
 		if !changed {
 			break
 		}
@@ -148,10 +235,12 @@ type candidate struct {
 }
 
 // sigCache caches per-node cube literal signatures ((signal, phase) sets)
-// for the containment prefilter.
+// for the containment prefilter. Like complCache it is only read and
+// written on the serial side of the engine.
 type sigCache struct {
-	nw *network.Network
-	m  map[string][][]sigLit
+	nw           *network.Network
+	m            map[string][][]sigLit
+	hits, misses int
 }
 
 type sigLit struct {
@@ -165,8 +254,10 @@ func newSigCache(nw *network.Network) *sigCache {
 
 func (sc *sigCache) get(name string) [][]sigLit {
 	if s, ok := sc.m[name]; ok {
+		sc.hits++
 		return s
 	}
+	sc.misses++
 	n := sc.nw.Node(name)
 	if n == nil {
 		return nil
@@ -227,7 +318,8 @@ func anyContainment(dSigs, fSigs [][]sigLit) bool {
 // candidateDivisors lists divisor nodes worth trying for f, most-promising
 // first: candidates are ordered by shared-support size (descending, then
 // name, then form) so the paper's first-positive-gain rule sees the
-// likeliest divisors early. The order is deterministic.
+// likeliest divisors early. The order is deterministic — it is the trial
+// order the engine's reducer replays plans in.
 func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f string, opt Options) []candidate {
 	fSigs := sigs.get(f)
 	fn := nw.Node(f)
@@ -305,212 +397,14 @@ func commitNode(nw *network.Network, f string, fanins []string, cover cube.Cover
 	return true
 }
 
-// plan is an evaluated division candidate: its factored-literal gain, a
-// closure that commits it, and a closure that undoes the commit (used by
-// the depth-budget check).
-type plan struct {
-	gain    int
-	pos     bool
-	dec     bool
-	removed int
-	apply   func() bool
-	undo    func()
-}
-
-// planPair evaluates one (dividend, divisor) division in the given form
-// without committing it. ok=false when no division exists.
-func planPair(nw *network.Network, f string, cand candidate, opt Options, cc *complCache, sigs *sigCache) (plan, bool) {
-	d := cand.name
-	fn := nw.Node(f)
-	costBefore := algebraic.FactorLits(fn.Cover)
-	// Windowed division: bound the sub-network the division sees.
-	nwd := nw
-	if opt.WindowDepth > 0 {
-		nwd = windowFor(nw, f, d, opt.WindowDepth)
-	}
-	oldFanins := append([]string(nil), fn.Fanins...)
-	oldCover := fn.Cover.Clone()
-	undoF := func() {
-		_ = nw.ReplaceNodeFunction(f, oldFanins, oldCover)
-		cc.invalidate(f)
-		sigs.invalidate(f)
-	}
-	commitF := func(res *DivideResult) func() bool {
-		return func() bool {
-			if !commitNode(nw, f, res.Fanins, res.Cover) {
-				return false
-			}
-			cc.invalidate(f)
-			sigs.invalidate(f)
-			return true
-		}
-	}
-
-	if cand.neg {
-		res, ok := BasicDivideCompl(nwd, f, d, opt.Config, opt.MaxComplementCubes)
-		if !ok {
-			return plan{}, false
-		}
-		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
-	}
-	if cand.pos {
-		res, ok := PosDivide(nwd, f, d, opt.Config, opt.MaxComplementCubes)
-		if !ok {
-			return plan{}, false
-		}
-		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), pos: true, removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
-	}
-
-	switch opt.Config {
-	case Basic:
-		res, ok := BasicDivide(nwd, f, d, opt.Config)
-		if !ok {
-			return plan{}, false
-		}
-		return plan{gain: costBefore - algebraic.FactorLits(res.Cover), removed: res.WiresRemoved, apply: commitF(res), undo: undoF}, true
-
-	default: // Extended / ExtendedGDC
-		dn := nw.Node(d)
-		before := costBefore + algebraic.FactorLits(dn.Cover)
-
-		// Extended division generalizes basic division; evaluate both and
-		// keep the better (the core-selection heuristic can otherwise pick
-		// a decomposition where the whole divisor would gain more).
-		extGain := -1 << 30
-		var extWork *network.Network
-		var extRes *DivideResult
-		var extDec *Decomposition
-		if work, res, dec, ok := ExtendedDivide(nw, f, d, opt.Config); ok {
-			after := algebraic.FactorLits(work.Node(f).Cover) + algebraic.FactorLits(work.Node(d).Cover)
-			if dec != nil {
-				after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
-			}
-			extGain = before - after
-			extWork, extRes, extDec = work, res, dec
-		}
-		basicGain := -1 << 30
-		var basicRes *DivideResult
-		if res, ok := BasicDivide(nwd, f, d, opt.Config); ok {
-			basicGain = costBefore - algebraic.FactorLits(res.Cover)
-			basicRes = res
-		}
-		if basicRes == nil && extWork == nil {
-			return plan{}, false
-		}
-		if basicGain >= extGain {
-			return plan{gain: basicGain, removed: basicRes.WiresRemoved, apply: commitF(basicRes), undo: undoF}, true
-		}
-		var snapshot *network.Network
-		return plan{gain: extGain, dec: extDec != nil, removed: extRes.WiresRemoved, apply: func() bool {
-			snapshot = nw.Clone()
-			nw.CopyFrom(extWork)
-			cc.invalidate(f)
-			cc.invalidate(d)
-			sigs.invalidate(f)
-			sigs.invalidate(d)
-			return true
-		}, undo: func() {
-			if snapshot != nil {
-				nw.CopyFrom(snapshot)
-			}
-			cc.invalidate(f)
-			cc.invalidate(d)
-			sigs.invalidate(f)
-			sigs.invalidate(d)
-		}}, true
-	}
-}
-
-// tryPair evaluates one candidate and commits it when the gain is positive
-// (the paper's first-positive-gain rule). Returns whether a substitution
-// was committed.
+// tryPair plans one candidate and commits it when the gain is positive
+// (the paper's first-positive-gain rule), serially. Kept as the one-shot
+// entry the tests exercise; Substitute drives planPair/commitPlan through
+// the evaluator instead.
 func tryPair(nw *network.Network, f string, cand candidate, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
-	p, ok := planPair(nw, f, cand, opt, cc, sigs)
+	p, ok := planPair(newScratch(), nw, f, cand, opt)
 	if !ok || p.gain <= 0 {
 		return false
 	}
-	return commitPlan(nw, p, opt, st)
-}
-
-// commitPlan applies a plan, enforcing the depth budget when set, and
-// updates statistics.
-func commitPlan(nw *network.Network, p plan, opt Options, st *Stats) bool {
-	if !p.apply() {
-		return false
-	}
-	if opt.DepthBudget > 0 {
-		if _, depth := nw.Levels(); depth > opt.DepthBudget {
-			if p.undo != nil {
-				p.undo()
-			}
-			return false
-		}
-	}
-	st.Substitutions++
-	if p.pos {
-		st.POSSubstitutions++
-	}
-	if p.dec {
-		st.Decompositions++
-	}
-	st.WiresRemoved += p.removed
-	return true
-}
-
-// tryPooled attempts one multi-node pooled extended division for f using up
-// to four of the SOP candidates as the divisor pool, committing on positive
-// total gain (f plus any created/rewritten nodes).
-func tryPooled(nw *network.Network, f string, cands []candidate, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
-	var pool []string
-	seen := map[string]bool{}
-	for _, c := range cands {
-		if c.pos || c.neg || seen[c.name] {
-			continue
-		}
-		seen[c.name] = true
-		pool = append(pool, c.name)
-		if len(pool) == 4 {
-			break
-		}
-	}
-	if len(pool) < 2 {
-		return false
-	}
-	fn := nw.Node(f)
-	before := algebraic.FactorLits(fn.Cover)
-	touched := map[string]bool{f: true}
-	for _, d := range pool {
-		before += algebraic.FactorLits(nw.Node(d).Cover)
-		touched[d] = true
-	}
-	work, res, dec, ok := PooledExtendedDivide(nw, f, pool, opt.Config)
-	if !ok {
-		return false
-	}
-	after := 0
-	if dec != nil && work.Node(dec.CoreName) != nil {
-		after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
-	}
-	for name := range touched {
-		if n := work.Node(name); n != nil {
-			after += algebraic.FactorLits(n.Cover)
-		}
-	}
-	if dec != nil {
-		touched[dec.CoreName] = true
-	}
-	if before-after <= 0 {
-		return false
-	}
-	nw.CopyFrom(work)
-	for name := range touched {
-		cc.invalidate(name)
-		sigs.invalidate(name)
-	}
-	st.Substitutions++
-	if dec != nil {
-		st.Decompositions++
-	}
-	st.WiresRemoved += res.WiresRemoved
-	return true
+	return commitPlan(nw, p, opt, cc, sigs, st)
 }

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/network"
+import (
+	"sort"
+
+	"repro/internal/network"
+)
 
 // windowFor extracts a bounded sub-network around dividend f and divisor d:
 // their fanin cones up to the given depth are copied; signals at the
@@ -9,7 +13,7 @@ import "repro/internal/network"
 // sound in the full circuit, while the per-trial cost becomes independent
 // of circuit size. The window's signal names are the real signal names, so
 // division results apply to the full network directly.
-func windowFor(nw *network.Network, f, d string, depth int) *network.Network {
+func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
 	include := map[string]bool{}
 	frontier := map[string]bool{}
 	type item struct {
@@ -44,11 +48,19 @@ func windowFor(nw *network.Network, f, d string, depth int) *network.Network {
 		}
 	}
 
-	w := network.New(nw.Name + "@win")
+	w := network.New(nw.NetName() + "@win")
+	// Sorted window inputs: PI insertion order fixes the window's netlist
+	// gate numbering, which learning-capped implication passes are sensitive
+	// to — map iteration order here would make windowed runs irreproducible.
+	inputs := make([]string, 0, len(frontier))
 	for name := range frontier {
 		if !include[name] {
-			w.AddPI(name)
+			inputs = append(inputs, name)
 		}
+	}
+	sort.Strings(inputs)
+	for _, name := range inputs {
+		w.AddPI(name)
 	}
 	// Add nodes in the full network's topological order restricted to the
 	// window.

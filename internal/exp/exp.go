@@ -36,6 +36,16 @@ type Cell struct {
 	CPU  time.Duration
 	// Equivalent records the verification outcome (always expected true).
 	Equivalent bool
+	// Sub carries the substitution engine's observability counters for the
+	// RAR algorithms (nil for the SIS baseline).
+	Sub *core.Stats `json:",omitempty"`
+}
+
+// RunOptions tune a table reproduction without changing its results.
+type RunOptions struct {
+	// Workers is threaded to core.Options.Workers for every substitution
+	// run (0 = GOMAXPROCS). Literal counts are identical at any value.
+	Workers int
 }
 
 // Row is one benchmark line of a table.
@@ -51,42 +61,49 @@ type Table struct {
 	Rows   []Row
 }
 
-// runAlgorithm applies one algorithm to a clone of the prepared circuit.
-func runAlgorithm(prepared *network.Network, alg string) Cell {
-	nw := prepared.Clone()
-	start := time.Now()
+// rarConfig maps an algorithm key to its substitution configuration.
+func rarConfig(alg string) (core.Config, bool) {
 	switch alg {
-	case "sis":
-		script.ResubSIS(nw)
 	case "basic":
-		script.ResubRAR(core.Basic)(nw)
+		return core.Basic, true
 	case "ext":
-		script.ResubRAR(core.Extended)(nw)
+		return core.Extended, true
 	case "extgdc":
-		script.ResubRAR(core.ExtendedGDC)(nw)
-	default:
+		return core.ExtendedGDC, true
+	}
+	return 0, false
+}
+
+// runAlgorithm applies one algorithm to a clone of the prepared circuit.
+func runAlgorithm(prepared *network.Network, alg string, o RunOptions) Cell {
+	nw := prepared.Clone()
+	var sub *core.Stats
+	start := time.Now()
+	if cfg, ok := rarConfig(alg); ok {
+		st := core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers})
+		sub = &st
+	} else if alg == "sis" {
+		script.ResubSISJ(o.Workers)(nw)
+	} else {
 		panic("exp: unknown algorithm " + alg)
 	}
 	cpu := time.Since(start)
-	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(prepared, nw)}
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(prepared, nw), Sub: sub}
 }
 
 // runAlgorithmFullFlow runs a whole flow with the algorithm's resub step
 // plugged in: script.algebraic for Table V, the extension script.boolean
 // flow for Table VI.
-func runAlgorithmFullFlow(raw *network.Network, alg string, table int) Cell {
+func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOptions) Cell {
 	nw := raw.Clone()
 	var resub script.Resub
-	switch alg {
-	case "sis":
-		resub = script.ResubSIS
-	case "basic":
-		resub = script.ResubRAR(core.Basic)
-	case "ext":
-		resub = script.ResubRAR(core.Extended)
-	case "extgdc":
-		resub = script.ResubRAR(core.ExtendedGDC)
-	default:
+	var sub *core.Stats
+	if cfg, ok := rarConfig(alg); ok {
+		sub = &core.Stats{}
+		resub = script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers}, sub)
+	} else if alg == "sis" {
+		resub = script.ResubSISJ(o.Workers)
+	} else {
 		panic("exp: unknown algorithm " + alg)
 	}
 	start := time.Now()
@@ -96,7 +113,7 @@ func runAlgorithmFullFlow(raw *network.Network, alg string, table int) Cell {
 		script.Algebraic(nw, resub)
 	}
 	cpu := time.Since(start)
-	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(raw, nw)}
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(raw, nw), Sub: sub}
 }
 
 // Run reproduces one table (2–5) over the given circuits (nil = whole
@@ -104,6 +121,12 @@ func runAlgorithmFullFlow(raw *network.Network, alg string, table int) Cell {
 // row order and all literal counts are deterministic. CPU columns measure
 // wall time per algorithm and may inflate slightly under contention.
 func Run(table int, circuits []string) Table {
+	return RunWith(table, circuits, RunOptions{})
+}
+
+// RunWith is Run with explicit tuning options; the produced literal counts
+// are identical for any RunOptions value.
+func RunWith(table int, circuits []string, o RunOptions) Table {
 	if circuits == nil {
 		circuits = bench.Names()
 	}
@@ -119,7 +142,7 @@ func Run(table int, circuits []string) Table {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rows[i] = runRow(table, circuits[i])
+				rows[i] = runRow(table, circuits[i], o)
 			}
 		}()
 	}
@@ -132,13 +155,13 @@ func Run(table int, circuits []string) Table {
 }
 
 // runRow measures one benchmark under every algorithm.
-func runRow(table int, name string) Row {
+func runRow(table int, name string, o RunOptions) Row {
 	raw := bench.Get(name)
 	row := Row{Circuit: name, Cells: make(map[string]Cell)}
 	if table == 5 || table == 6 {
 		row.Init = raw.FactoredLits()
 		for _, alg := range Algorithms {
-			row.Cells[alg] = runAlgorithmFullFlow(raw, alg, table)
+			row.Cells[alg] = runAlgorithmFullFlow(raw, alg, table, o)
 		}
 		return row
 	}
@@ -146,7 +169,7 @@ func runRow(table int, name string) Row {
 	script.Prepare(table, prepared)
 	row.Init = prepared.FactoredLits()
 	for _, alg := range Algorithms {
-		row.Cells[alg] = runAlgorithm(prepared, alg)
+		row.Cells[alg] = runAlgorithm(prepared, alg, o)
 	}
 	return row
 }
@@ -212,6 +235,33 @@ func (t Table) Print(w io.Writer) {
 	fmt.Fprintln(w)
 	if !t.AllEquivalent() {
 		fmt.Fprintln(w, "WARNING: cells marked '!' failed equivalence checking")
+	}
+}
+
+// PrintStats renders the substitution engine's observability counters for
+// every RAR cell: divisor trials, depth-budget rejections, cache traffic,
+// and per-pass wall times (the `-v` view of cmd/experiments).
+func (t Table) PrintStats(w io.Writer) {
+	fmt.Fprintf(w, "substitution engine counters (table %s)\n", roman(t.Number))
+	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %12s %12s  %s\n",
+		"circuit", "alg", "subs", "trials", "deprej", "sigcache", "complcache", "pass times")
+	for _, r := range t.Rows {
+		for _, alg := range Algorithms {
+			s := r.Cells[alg].Sub
+			if s == nil {
+				continue
+			}
+			times := ""
+			for i, d := range s.PassTimes {
+				if i > 0 {
+					times += " "
+				}
+				times += fmt.Sprintf("%.3fs", d.Seconds())
+			}
+			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %5d/%-6d %5d/%-6d  %s\n",
+				r.Circuit, alg, s.Substitutions, s.DivisorTrials, s.DepthRejected,
+				s.SigCacheHits, s.SigCacheMisses, s.ComplCacheHits, s.ComplCacheMisses, times)
+		}
 	}
 }
 

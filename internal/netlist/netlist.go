@@ -101,14 +101,39 @@ func (nl *Netlist) Fanins(g int) []int { return nl.gates[g].fanins }
 // Fanouts returns gate g's fanout gate ids (do not modify).
 func (nl *Netlist) Fanouts(g int) []int { return nl.gates[g].fanouts }
 
-// AddGate creates a gate and wires its fanins, returning its id.
+// AddGate creates a gate and wires its fanins, returning its id. When the
+// netlist was Reset, the gate slot (including its fanin/fanout arrays) is
+// reclaimed from the previous build instead of reallocated.
 func (nl *Netlist) AddGate(k Kind, fanins ...int) int {
 	id := len(nl.gates)
-	nl.gates = append(nl.gates, gate{kind: k, fanins: append([]int(nil), fanins...)})
+	if id < cap(nl.gates) {
+		// Reuse the retired gate's slice capacity (arena reset, not realloc).
+		nl.gates = nl.gates[:id+1]
+		g := &nl.gates[id]
+		g.kind = k
+		g.name = ""
+		g.fanins = append(g.fanins[:0], fanins...)
+		g.fanouts = g.fanouts[:0]
+	} else {
+		nl.gates = append(nl.gates, gate{kind: k, fanins: append([]int(nil), fanins...)})
+	}
 	for _, f := range fanins {
 		nl.gates[f].fanouts = append(nl.gates[f].fanouts, id)
 	}
 	return id
+}
+
+// Reset empties the netlist for rebuilding while keeping every allocation:
+// the gate arena (with per-gate fanin/fanout arrays), the signal and
+// inverter maps, and the PO lists are cleared in place. A Reset netlist is
+// observationally identical to a New one.
+func (nl *Netlist) Reset() {
+	nl.gates = nl.gates[:0]
+	clear(nl.Signal)
+	clear(nl.inv)
+	clear(nl.isPO)
+	nl.POs = nl.POs[:0]
+	nl.PONames = nl.PONames[:0]
 }
 
 // AddInput creates a primary-input gate bound to a signal name.
@@ -158,19 +183,48 @@ type Build struct {
 }
 
 // FromNetwork decomposes the whole network. Node order follows TopoOrder,
-// so every fanin gate exists before use.
-func FromNetwork(nw *network.Network) *Build {
-	nl := New()
-	b := &Build{NL: nl, Nodes: make(map[string]*NodeGates)}
+// so every fanin gate exists before use. Each call allocates fresh
+// structures; hot loops that rebuild netlists repeatedly (one per division
+// trial) should hold a Builder and call Build instead.
+func FromNetwork(nw network.Reader) *Build {
+	return NewBuilder().Build(nw)
+}
+
+// Builder rebuilds netlists from networks while recycling all scratch
+// memory between builds: the gate arena, per-gate fanin/fanout arrays, and
+// the name/inverter maps survive from one Build call to the next. A Builder
+// is owned by exactly one worker at a time — it is not safe for concurrent
+// use, and a Build result is invalidated by the next Build call on the same
+// Builder.
+type Builder struct {
+	build Build
+}
+
+// NewBuilder returns an empty Builder ready for its first Build call.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build decomposes the network into the canonical two-level netlist exactly
+// like FromNetwork, reusing the arenas of the previous Build. The returned
+// Build aliases the Builder's internal state: it remains valid only until
+// the next Build call.
+func (b *Builder) Build(nw network.Reader) *Build {
+	if b.build.NL == nil {
+		b.build.NL = New()
+		b.build.Nodes = make(map[string]*NodeGates)
+	} else {
+		b.build.NL.Reset()
+		clear(b.build.Nodes)
+	}
+	nl := b.build.NL
 	for _, pi := range nw.PIs() {
 		nl.AddInput(pi)
 	}
 	for _, name := range nw.TopoOrder() {
 		n := nw.Node(name)
-		ng := b.buildNode(n)
+		ng := b.build.buildNode(n)
 		nl.gates[ng.Out].name = name
 		nl.Signal[name] = ng.Out
-		b.Nodes[name] = ng
+		b.build.Nodes[name] = ng
 	}
 	for _, po := range nw.POs() {
 		g, ok := nl.Signal[po]
@@ -181,7 +235,7 @@ func FromNetwork(nw *network.Network) *Build {
 		nl.PONames = append(nl.PONames, po)
 		nl.isPO[g] = true
 	}
-	return b
+	return &b.build
 }
 
 // buildNode creates the canonical AND-OR structure for one node.

@@ -1,0 +1,53 @@
+package network
+
+// Reader is the read-only surface of a Network. The plan/commit substitution
+// engine hands planners a Reader so the ownership split is explicit in the
+// type system: candidate evaluation may inspect the shared network (and
+// Clone it to obtain a private mutable copy) but must never edit it in
+// place; all in-place mutation goes through the serial committer, which
+// holds the concrete *Network. Concurrent planners may therefore share one
+// Reader — every method below is a pure read (none touches hidden caches),
+// which `go test -race` verifies over the parallel trial pool.
+//
+// Callers must treat values reached through a Reader as frozen: the *Node
+// returned by Node and the slices returned by PIs/POs/Nodes alias the live
+// network and must not be written through.
+type Reader interface {
+	// NetName returns the network's name.
+	NetName() string
+	// Node returns the node driving the named signal, or nil (read-only).
+	Node(name string) *Node
+	// PIs returns the primary input names (do not modify).
+	PIs() []string
+	// POs returns the primary output signal names (do not modify).
+	POs() []string
+	// IsPI reports whether name is a primary input.
+	IsPI(name string) bool
+	// Nodes returns all nodes in deterministic order (do not modify).
+	Nodes() []*Node
+	// NumNodes returns the internal node count.
+	NumNodes() int
+	// TopoOrder returns node names in topological order.
+	TopoOrder() []string
+	// SortedNodeNames returns node names sorted lexicographically.
+	SortedNodeNames() []string
+	// TFOSet returns the transitive-fanout node set of a signal.
+	TFOSet(name string) map[string]bool
+	// DependsOn reports whether a transitively depends on b.
+	DependsOn(a, b string) bool
+	// Fanouts returns the fanout map of the network.
+	Fanouts() map[string][]string
+	// Levels returns per-signal logic depths and the maximum PO depth.
+	Levels() (map[string]int, int)
+	// FactoredLits returns the factored-form literal total.
+	FactoredLits() int
+	// Clone deep-copies the network into a private mutable copy.
+	Clone() *Network
+}
+
+// NetName returns the network's name, satisfying the Reader interface
+// (the Name field itself cannot appear in an interface).
+func (nw *Network) NetName() string { return nw.Name }
+
+// compile-time check: *Network is a Reader.
+var _ Reader = (*Network)(nil)

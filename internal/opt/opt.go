@@ -7,7 +7,10 @@
 package opt
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebraic"
 	"repro/internal/cube"
@@ -38,6 +41,19 @@ func SimplifyAll(nw *network.Network) int {
 // Acceptance is locally greedy on factored literals, mirroring the paper's
 // acceptance rule for its own algorithm. Returns the substitution count.
 func ResubAlgebraic(nw *network.Network, useComplement bool) int {
+	return ResubAlgebraicJ(nw, useComplement, 1)
+}
+
+// ResubAlgebraicJ is ResubAlgebraic with a bounded worker pool, following
+// the same plan/commit split as internal/core's engine: candidate divisors
+// for a node are planned concurrently against the read-only network in
+// waves of the worker count, then the first positive-gain plan in candidate
+// order is committed serially. The committed network is identical at any
+// worker count (workers <= 0 selects GOMAXPROCS).
+func ResubAlgebraicJ(nw *network.Network, useComplement bool, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	count := 0
 	for pass := 0; pass < 2; pass++ {
 		changed := false
@@ -48,15 +64,56 @@ func ResubAlgebraic(nw *network.Network, useComplement bool) int {
 			if fn == nil || fn.Cover.IsZero() {
 				continue
 			}
+			var cands []string
 			for _, d := range nw.SortedNodeNames() {
 				if d == f || nw.DependsOn(d, f) {
 					continue
 				}
-				if tryAlgebraicResub(nw, f, d, useComplement) {
-					count++
-					changed = true
-					break
+				cands = append(cands, d)
+			}
+			committed := false
+			for start := 0; start < len(cands) && !committed; start += workers {
+				end := start + workers
+				if end > len(cands) {
+					end = len(cands)
 				}
+				batch := cands[start:end]
+				plans := make([][]algPlan, len(batch))
+				if workers == 1 || len(batch) == 1 {
+					plans[0] = planAlgebraicResub(nw, f, batch[0], useComplement)
+				} else {
+					var next atomic.Int64
+					var wg sync.WaitGroup
+					for w := 0; w < workers && w < len(batch); w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								j := int(next.Add(1)) - 1
+								if j >= len(batch) {
+									return
+								}
+								plans[j] = planAlgebraicResub(nw, f, batch[j], useComplement)
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				for _, ps := range plans {
+					for _, p := range ps {
+						if commitAlgPlan(nw, f, p) {
+							committed = true
+							break // first positive-gain divisor wins
+						}
+					}
+					if committed {
+						break
+					}
+				}
+			}
+			if committed {
+				count++
+				changed = true
 			}
 		}
 		if !changed {
@@ -66,39 +123,49 @@ func ResubAlgebraic(nw *network.Network, useComplement bool) int {
 	return count
 }
 
-// tryAlgebraicResub attempts f = q·d + r (and the complement-phase variant)
-// committing the first positive factored-literal gain.
-func tryAlgebraicResub(nw *network.Network, f, d string, useComplement bool) bool {
+// algPlan is one planned algebraic resubstitution: the replacement node
+// function for the dividend, as pure data.
+type algPlan struct {
+	space []string
+	cover cube.Cover
+}
+
+// planAlgebraicResub plans f = q·d + r (and the complement-phase variant
+// when useComplement is set) without mutating the network. The returned
+// plans are in the order the serial driver would have tried them (positive
+// phase first); the committer takes the first that applies.
+func planAlgebraicResub(nw network.Reader, f, d string, useComplement bool) []algPlan {
 	fn, dn := nw.Node(f), nw.Node(d)
 	if dn.Cover.IsZero() || (dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse()) {
-		return false
+		return nil
 	}
 	union := unionSignals(fn.Fanins, dn.Fanins)
 	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
 	dU := network.RemapCover(dn.Cover, dn.Fanins, union)
 	before := algebraic.FactorLits(fn.Cover)
 
-	if commitQuotient(nw, f, d, union, fU, dU, cube.Pos, before) {
-		return true
+	var out []algPlan
+	if p, ok := planQuotient(union, fU, dU, d, cube.Pos, before); ok {
+		out = append(out, p)
 	}
 	if useComplement {
 		dc := dn.Cover.Complement()
 		if !dc.IsZero() && dc.NumCubes() <= 24 {
 			dcU := network.RemapCover(dc, dn.Fanins, union)
-			if commitQuotient(nw, f, d, union, fU, dcU, cube.Neg, before) {
-				return true
+			if p, ok := planQuotient(union, fU, dcU, d, cube.Neg, before); ok {
+				out = append(out, p)
 			}
 		}
 	}
-	return false
+	return out
 }
 
-// commitQuotient divides fU by divisor cover div (representing signal d in
-// phase ph) and commits when the gain is positive.
-func commitQuotient(nw *network.Network, f, d string, union []string, fU, div cube.Cover, ph cube.Phase, before int) bool {
+// planQuotient divides fU by divisor cover div (representing signal d in
+// phase ph) and returns the replacement plan when the gain is positive.
+func planQuotient(union []string, fU, div cube.Cover, d string, ph cube.Phase, before int) (algPlan, bool) {
 	q, r := algebraic.WeakDivide(fU, div)
 	if q.IsZero() {
-		return false
+		return algPlan{}, false
 	}
 	space := union
 	yIdx := indexOf(union, d)
@@ -128,16 +195,32 @@ func commitQuotient(nw *network.Network, f, d string, union []string, fU, div cu
 	}
 	out = out.SCC()
 	if before-algebraic.FactorLits(out) <= 0 {
-		return false
+		return algPlan{}, false
 	}
-	// Verify the rewrite is exact in the free-variable space: q·d + r must
-	// equal f algebraically (weak division guarantees it, but the phase
-	// clash filter above could in principle drop cubes).
-	if err := nw.ReplaceNodeFunction(f, space, out); err != nil {
+	return algPlan{space: space, cover: out}, true
+}
+
+// commitAlgPlan installs a planned resubstitution. The rewrite is exact in
+// the free-variable space: q·d + r equals f algebraically (weak division
+// guarantees it; the phase clash filter in planQuotient could in principle
+// drop cubes, which ReplaceNodeFunction's validation would reject).
+func commitAlgPlan(nw *network.Network, f string, p algPlan) bool {
+	if err := nw.ReplaceNodeFunction(f, p.space, p.cover); err != nil {
 		return false
 	}
 	nw.NormalizeNode(f)
 	return true
+}
+
+// commitQuotient divides fU by divisor cover div (representing signal d in
+// phase ph) and commits when the gain is positive — the one-shot
+// plan-then-commit used by kernel extraction.
+func commitQuotient(nw *network.Network, f, d string, union []string, fU, div cube.Cover, ph cube.Phase, before int) bool {
+	p, ok := planQuotient(union, fU, div, d, ph, before)
+	if !ok {
+		return false
+	}
+	return commitAlgPlan(nw, f, p)
 }
 
 // Gcx performs greedy common-cube extraction: repeatedly find the cube

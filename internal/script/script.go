@@ -18,12 +18,29 @@ type Resub func(nw *network.Network)
 // (the paper's `resub -d`).
 func ResubSIS(nw *network.Network) { opt.ResubAlgebraic(nw, true) }
 
+// ResubSISJ is ResubSIS with the worker-pool knob threaded through to
+// opt.ResubAlgebraicJ.
+func ResubSISJ(workers int) Resub {
+	return func(nw *network.Network) { opt.ResubAlgebraicJ(nw, true, workers) }
+}
+
 // ResubRAR returns the paper's Boolean substitution in the given
 // configuration; POS-form substitution and multi-node divisor pooling are
 // enabled as in the paper.
 func ResubRAR(cfg core.Config) Resub {
+	return ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true}, nil)
+}
+
+// ResubRARWith returns a resubstitution step running core.Substitute with
+// explicit options (the paper's defaults are NOT filled in — set POS/Pool
+// yourself). When acc is non-nil, each invocation's statistics are
+// accumulated into it, so a whole flow's substitution work can be reported.
+func ResubRARWith(o core.Options, acc *core.Stats) Resub {
 	return func(nw *network.Network) {
-		core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true})
+		st := core.Substitute(nw, o)
+		if acc != nil {
+			acc.Accumulate(st)
+		}
 	}
 }
 
