@@ -597,3 +597,44 @@ func BenchmarkSubstituteParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSubstituteSigFilter measures the simulation-signature divisor
+// prefilter: with the filter on, candidates whose signature necessary
+// condition fails skip the exact trial (clone + netlist + implication
+// engine) entirely. The committed networks are bit-identical either way
+// (TestSubstituteSigFilterInvariant); the trials metric shows how many
+// exact trials each mode evaluates and lits confirms results did not move.
+func BenchmarkSubstituteSigFilter(b *testing.B) {
+	circuits := []string{"rnd_d", "rnd_e", "csel8", "mult3", "pla_c"}
+	prepared := make([]*network.Network, len(circuits))
+	for i, name := range circuits {
+		nw := bench.Get(name)
+		script.A(nw)
+		prepared[i] = nw
+	}
+	for _, mode := range []struct {
+		name     string
+		noFilter bool
+	}{{"off", true}, {"on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total, trials, rejected, fpass := 0, 0, 0, 0
+				for _, base := range prepared {
+					nw := base.Clone()
+					st := core.Substitute(nw, core.Options{
+						Config: core.Extended, POS: true, Pool: true,
+						NoSigFilter: mode.noFilter,
+					})
+					total += nw.FactoredLits()
+					trials += st.DivisorTrials
+					rejected += st.SigFilterReject
+					fpass += st.SigFilterFalsePass
+				}
+				b.ReportMetric(float64(total), "lits")
+				b.ReportMetric(float64(trials), "trials")
+				b.ReportMetric(float64(rejected), "rejected")
+				b.ReportMetric(float64(fpass), "fpass")
+			}
+		})
+	}
+}

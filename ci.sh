@@ -1,9 +1,11 @@
 #!/bin/sh
 # CI gate: vet + full test suite (tier-1) + race detector over the packages
-# the parallel substitution engine touches. Run from the repo root.
+# the parallel substitution engine touches + a fuzz smoke over the BLIF
+# parser's corpus. Run from the repo root.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core ./internal/atpg ./internal/netlist
+go test -run Fuzz -fuzztime=10s ./internal/blif

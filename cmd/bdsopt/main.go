@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/blif"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/opt"
@@ -38,6 +39,7 @@ func main() {
 	redund := flag.Bool("redund", false, "finish with whole-network redundancy removal")
 	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	flag.Parse()
+	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
 
 	nw, err := load(*benchName, flag.Arg(0))
 	if err != nil {

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-table N] [-circuits a,b,c] [-list] [-j N] [-v] [-json]
+//	experiments [-table N] [-circuits a,b,c] [-algs sis,ext] [-list] [-j N] [-v] [-json] [-nosigfilter]
 //
 // With no flags all four tables run over the whole suite. -j bounds the
 // substitution engine's planner worker pool (results are bit-identical at
-// any value); -v additionally prints the engine's observability counters.
+// any value); -v additionally prints the engine's observability counters,
+// including the simulation-signature prefilter's reject/false-pass rates;
+// -nosigfilter disables the prefilter (identical literal counts, more exact
+// division trials).
 package main
 
 import (
@@ -20,17 +23,21 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 )
 
 func main() {
 	table := flag.Int("table", 0, "table to reproduce (2-5); 0 = all")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
+	algs := flag.String("algs", "", "comma-separated algorithm subset (default: "+strings.Join(exp.Algorithms, ",")+")")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
 	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
-	verbose := flag.Bool("v", false, "print substitution engine counters (trials, depth rejections, cache hits, pass times)")
+	verbose := flag.Bool("v", false, "print substitution engine counters (trials, filter rejections, cache hits, pass times)")
+	noSigFilter := flag.Bool("nosigfilter", false, "disable the simulation-signature divisor prefilter (identical results, more trials)")
 	flag.Parse()
+	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
 
 	if *list {
 		for _, n := range bench.Names() {
@@ -41,6 +48,10 @@ func main() {
 	var names []string
 	if *circuits != "" {
 		names = strings.Split(*circuits, ",")
+	}
+	var algNames []string
+	if *algs != "" {
+		algNames = strings.Split(*algs, ",")
 	}
 	tables := []int{2, 3, 4, 5}
 	if *table != 0 {
@@ -53,7 +64,16 @@ func main() {
 	ok := true
 	var results []exp.Table
 	for _, t := range tables {
-		res := exp.RunWith(t, names, exp.RunOptions{Workers: *workers})
+		res, err := exp.RunWith(t, names, exp.RunOptions{
+			Workers:     *workers,
+			Algorithms:  algNames,
+			NoSigFilter: *noSigFilter,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
 		if *asJSON {
 			results = append(results, res)
 		} else {

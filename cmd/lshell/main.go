@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/blif"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/opt"
@@ -48,6 +49,7 @@ func main() {
 	cmds := flag.String("c", "", "semicolon-separated commands to run non-interactively")
 	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	flag.Parse()
+	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
 
 	sh := &shell{out: os.Stdout, workers: *workers}
 	sh.errf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "lshell: "+format+"\n", args...) }

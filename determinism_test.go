@@ -13,6 +13,52 @@ import (
 	"repro/internal/script"
 )
 
+// TestSubstituteSigFilterInvariant is the acceptance test for the
+// simulation-signature divisor prefilter: over the bench suite and all
+// three configurations, the committed BLIF must be byte-identical with the
+// filter off, on, and on with a parallel planner pool — the filter may only
+// skip trials that would have failed, never change what commits.
+func TestSubstituteSigFilterInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sig-filter sweep skipped in -short mode")
+	}
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"basic", core.Basic},
+		{"ext", core.Extended},
+		{"extgdc", core.ExtendedGDC},
+	}
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prepared := bench.Get(name)
+			script.Prepare(2, prepared)
+			for _, c := range configs {
+				run := func(noFilter bool, workers int) string {
+					nw := prepared.Clone()
+					core.Substitute(nw, core.Options{
+						Config: c.cfg, POS: true, Pool: true,
+						Workers: workers, NoSigFilter: noFilter,
+					})
+					return blif.ToString(nw)
+				}
+				off := run(true, 1)
+				if on := run(false, 1); on != off {
+					t.Errorf("%s/%s: filter on (serial) differs from filter off\n--- off ---\n%s\n--- on ---\n%s",
+						name, c.name, off, on)
+				}
+				if on8 := run(false, 8); on8 != off {
+					t.Errorf("%s/%s: filter on (Workers=8) differs from filter off\n--- off ---\n%s\n--- on ---\n%s",
+						name, c.name, off, on8)
+				}
+			}
+		})
+	}
+}
+
 func TestSubstituteWorkerCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite determinism sweep skipped in -short mode")

@@ -1,0 +1,26 @@
+// Package cliutil holds small helpers shared by the command-line tools
+// (experiments, bdsopt, lshell) so flag handling behaves identically across
+// them.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// ClampWorkers sanitizes a -j worker-count flag value. 0 is the documented
+// "use GOMAXPROCS" default and resolves silently; a negative value is a user
+// mistake and resolves the same way but with a warning on w (so a typo'd
+// `-j -4` does not silently spawn an unbounded or one-worker pool). Positive
+// values pass through unchanged.
+func ClampWorkers(n int, w io.Writer) int {
+	if n > 0 {
+		return n
+	}
+	max := runtime.GOMAXPROCS(0)
+	if n < 0 && w != nil {
+		fmt.Fprintf(w, "warning: -j %d is not a valid worker count; using %d (GOMAXPROCS)\n", n, max)
+	}
+	return max
+}

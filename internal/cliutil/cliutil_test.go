@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestClampWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+
+	var buf strings.Builder
+	if got := ClampWorkers(4, &buf); got != 4 {
+		t.Errorf("ClampWorkers(4) = %d, want 4", got)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("positive count warned: %q", buf.String())
+	}
+
+	buf.Reset()
+	if got := ClampWorkers(0, &buf); got != max {
+		t.Errorf("ClampWorkers(0) = %d, want GOMAXPROCS=%d", got, max)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("zero (documented default) warned: %q", buf.String())
+	}
+
+	buf.Reset()
+	if got := ClampWorkers(-3, &buf); got != max {
+		t.Errorf("ClampWorkers(-3) = %d, want GOMAXPROCS=%d", got, max)
+	}
+	if !strings.Contains(buf.String(), "-3") {
+		t.Errorf("negative count did not warn with the value: %q", buf.String())
+	}
+
+	// nil writer must not panic.
+	if got := ClampWorkers(-1, nil); got != max {
+		t.Errorf("ClampWorkers(-1, nil) = %d, want %d", got, max)
+	}
+}

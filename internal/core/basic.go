@@ -102,6 +102,41 @@ func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, m
 // dual, where the caller post-processes the complement), runs RAR
 // redundancy removal in the region, and extracts the result.
 func divideWithParts(sc *scratch, nw network.Reader, f, d string, union []string, qPart, rem cube.Cover, cfg Config, yPhase cube.Phase, markPOS bool) (*DivideResult, bool) {
+	tentative, space := tentativeCover(union, d, qPart, rem, yPhase)
+
+	work := nw.Clone()
+	if err := work.ReplaceNodeFunction(f, space, tentative); err != nil {
+		return nil, false
+	}
+
+	removed := runRegionRAR(sc, work, f, d, cfg)
+
+	fn := work.Node(f)
+	res := &DivideResult{
+		Fanins:       fn.Fanins,
+		Cover:        fn.Cover,
+		WiresRemoved: removed,
+		POS:          markPOS,
+	}
+	// Split informational quotient/remainder back out.
+	q, r := cube.NewCover(len(fn.Fanins)), cube.NewCover(len(fn.Fanins))
+	yNow := indexOf(fn.Fanins, d)
+	for _, c := range fn.Cover.Cubes {
+		if yNow >= 0 && c.Get(yNow) == yPhase {
+			q.Cubes = append(q.Cubes, c.With(yNow, cube.Free))
+		} else {
+			r.Cubes = append(r.Cubes, c)
+		}
+	}
+	res.Quotient, res.Remainder = q, r
+	return res, true
+}
+
+// tentativeCover builds the pre-removal division structure f = (qPart ∧ y)
+// + rem over the union space plus the divisor signal (shared by
+// divideWithParts and the signature prefilter's exact no-removal gain
+// computation — the two must stay cube-for-cube identical).
+func tentativeCover(union []string, d string, qPart, rem cube.Cover, yPhase cube.Phase) (cube.Cover, []string) {
 	// Variable space: union signals plus the divisor signal.
 	space := union
 	yIdx := indexOf(union, d)
@@ -138,33 +173,7 @@ func divideWithParts(sc *scratch, nw network.Reader, f, d string, union []string
 			tentative.Cubes = append(tentative.Cubes, k)
 		}
 	}
-
-	work := nw.Clone()
-	if err := work.ReplaceNodeFunction(f, space, tentative); err != nil {
-		return nil, false
-	}
-
-	removed := runRegionRAR(sc, work, f, d, cfg)
-
-	fn := work.Node(f)
-	res := &DivideResult{
-		Fanins:       fn.Fanins,
-		Cover:        fn.Cover,
-		WiresRemoved: removed,
-		POS:          markPOS,
-	}
-	// Split informational quotient/remainder back out.
-	q, r := cube.NewCover(len(fn.Fanins)), cube.NewCover(len(fn.Fanins))
-	yNow := indexOf(fn.Fanins, d)
-	for _, c := range fn.Cover.Cubes {
-		if yNow >= 0 && c.Get(yNow) == yPhase {
-			q.Cubes = append(q.Cubes, c.With(yNow, cube.Free))
-		} else {
-			r.Cubes = append(r.Cubes, c)
-		}
-	}
-	res.Quotient, res.Remainder = q, r
-	return res, true
+	return tentative, space
 }
 
 // runRegionRAR rebuilds the netlist for the working network and removes

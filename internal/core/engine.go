@@ -289,6 +289,12 @@ func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *
 type planResult struct {
 	p  plan
 	ok bool
+	// filtered marks a candidate rejected by the simulation-signature
+	// prefilter: planPair never ran (no clone, no netlist, no implication
+	// engine). A filtered candidate is one whose trial was guaranteed to
+	// produce no committable (positive-gain) plan, so downstream the slot
+	// behaves exactly like ok=false: the reducer would have skipped it.
+	filtered bool
 }
 
 // evaluator fans planPair calls over a bounded worker pool. Each worker
@@ -312,20 +318,31 @@ func newEvaluator(workers int) *evaluator {
 }
 
 // plans evaluates every candidate in cands against nw and returns the
-// results in candidate order. With one worker (or one candidate) the
+// results in candidate order. The simulation-signature prefilter (sf, nil =
+// off) runs first, serially: candidates it rejects are marked filtered and
+// never reach planPair, so they skip the trial clone, the netlist build and
+// the implication engine. With one worker (or one surviving candidate) the
 // evaluation is inlined — no goroutines, identical to the historical serial
 // driver including allocation behavior.
-func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options) []planResult {
+func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options, sf *simSigFilter) []planResult {
 	res := make([]planResult, len(cands))
-	if ev.workers == 1 || len(cands) <= 1 {
-		for i, c := range cands {
-			res[i].p, res[i].ok = planPair(ev.scratches[0], nw, f, c, opt)
+	todo := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if !sf.admits(c) {
+			res[i].filtered = true
+			continue
+		}
+		todo = append(todo, i)
+	}
+	if ev.workers == 1 || len(todo) <= 1 {
+		for _, i := range todo {
+			res[i].p, res[i].ok = planPair(ev.scratches[0], nw, f, cands[i], opt)
 		}
 		return res
 	}
 	n := ev.workers
-	if n > len(cands) {
-		n = len(cands)
+	if n > len(todo) {
+		n = len(todo)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -334,10 +351,11 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 		go func(sc *scratch) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cands) {
+				k := int(next.Add(1)) - 1
+				if k >= len(todo) {
 					return
 				}
+				i := todo[k]
 				res[i].p, res[i].ok = planPair(sc, nw, f, cands[i], opt)
 			}
 		}(ev.scratches[w])

@@ -89,12 +89,18 @@ func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl
 type complCache struct {
 	max          int
 	m            map[string]cube.Cover
+	mm           map[string]cube.Cover // minimized complements (signature prefilter)
 	bad          map[string]bool
 	hits, misses int
 }
 
 func newComplCache(max int) *complCache {
-	return &complCache{max: max, m: make(map[string]cube.Cover), bad: make(map[string]bool)}
+	return &complCache{
+		max: max,
+		m:   make(map[string]cube.Cover),
+		mm:  make(map[string]cube.Cover),
+		bad: make(map[string]bool),
+	}
 }
 
 func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
@@ -121,7 +127,24 @@ func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
 	return c, true
 }
 
+// getMin returns the node's minimized complement — the cover posDivide's
+// Minimize(Complement(...)) produces — memoized alongside the plain
+// complement. The returned cover is shared: callers must not mutate it.
+func (cc *complCache) getMin(nw network.Reader, name string) (cube.Cover, bool) {
+	if c, ok := cc.mm[name]; ok {
+		return c, true
+	}
+	raw, ok := cc.get(nw, name)
+	if !ok {
+		return cube.Cover{}, false
+	}
+	c := mini.Minimize(raw.Clone(), mini.Options{})
+	cc.mm[name] = c
+	return c, true
+}
+
 func (cc *complCache) invalidate(name string) {
 	delete(cc.m, name)
+	delete(cc.mm, name)
 	delete(cc.bad, name)
 }

@@ -51,6 +51,13 @@ type Options struct {
 	// GOMAXPROCS). The committed network is bit-identical at any worker
 	// count; only wall time changes.
 	Workers int
+	// NoSigFilter disables the simulation-signature divisor prefilter. The
+	// filter (on by default) skips exact division trials whose signature
+	// necessary condition fails — it can only skip trials that would not
+	// have produced a committable (positive-gain) plan, so the committed
+	// network is bit-identical either way; only the trial count and wall
+	// time change (see sigfilter.go).
+	NoSigFilter bool
 }
 
 // Stats summarizes a substitution run.
@@ -65,10 +72,20 @@ type Stats struct {
 	WiresRemoved int
 	// LitsBefore/LitsAfter are factored-form literal totals.
 	LitsBefore, LitsAfter int
-	// DivisorTrials counts evaluated division plans. With Workers > 1 the
-	// count can exceed a serial run's: a whole wave of trials is planned
-	// before the reducer knows the first one committed.
+	// DivisorTrials counts exact division plans actually evaluated —
+	// candidates the signature prefilter rejected are not included (they are
+	// counted in SigFilterReject). With Workers > 1 the count can exceed a
+	// serial run's: a whole wave of trials is planned before the reducer
+	// knows the first one committed.
 	DivisorTrials int
+	// SigFilterReject counts candidates the simulation-signature prefilter
+	// rejected: trials skipped without building a netlist or running
+	// implications. SigFilterPass counts candidates that passed the filter
+	// while it was active, and SigFilterFalsePass counts the passed
+	// candidates whose exact trial then produced no committable
+	// (positive-gain) plan anyway — the filter's false-pass population
+	// (passes − false passes yielded a commit-worthy plan).
+	SigFilterReject, SigFilterPass, SigFilterFalsePass int
 	// DepthRejected counts plans whose commit was undone because the result
 	// exceeded Options.DepthBudget.
 	DepthRejected int
@@ -98,6 +115,9 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Decompositions += o.Decompositions
 	s.WiresRemoved += o.WiresRemoved
 	s.DivisorTrials += o.DivisorTrials
+	s.SigFilterReject += o.SigFilterReject
+	s.SigFilterPass += o.SigFilterPass
+	s.SigFilterFalsePass += o.SigFilterFalsePass
 	s.DepthRejected += o.DepthRejected
 	s.SigCacheHits += o.SigCacheHits
 	s.SigCacheMisses += o.SigCacheMisses
@@ -105,6 +125,16 @@ func (s *Stats) Accumulate(o Stats) {
 	s.ComplCacheMisses += o.ComplCacheMisses
 	s.Passes += o.Passes
 	s.PassTimes = append(s.PassTimes, o.PassTimes...)
+}
+
+// FalsePassRate is the fraction of filter-passed candidates whose exact
+// trial found no division anyway (0 when the filter never passed anything).
+// Low is good: the signature test predicted trial failure well.
+func (s *Stats) FalsePassRate() float64 {
+	if s.SigFilterPass == 0 {
+		return 0
+	}
+	return float64(s.SigFilterFalsePass) / float64(s.SigFilterPass)
 }
 
 // Substitute runs Boolean substitution over the whole network with the
@@ -138,6 +168,15 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	ev := newEvaluator(workers)
 	st := Stats{LitsBefore: nw.FactoredLits()}
 
+	// Simulation signatures for the divisor prefilter: enabled on the live
+	// network for the duration of the run, refreshed incrementally after
+	// commits (only a committed rewrite's transitive fanout is recomputed).
+	var sigTab *network.SigTable
+	if !opt.NoSigFilter {
+		sigTab = nw.EnableSigs()
+		defer nw.DisableSigs()
+	}
+
 	for pass := 0; pass < maxPasses; pass++ {
 		passStart := time.Now()
 		changed := false
@@ -156,12 +195,23 @@ func Substitute(nw *network.Network, opt Options) Stats {
 			if len(cands) > maxTrials {
 				cands = cands[:maxTrials]
 			}
+			// The candidate list above is fixed before filtering: the
+			// signature prefilter only short-circuits trials inside it (it
+			// never reorders or reveals extra candidates), which is what
+			// keeps the committed network identical with the filter off.
+			var sf *simSigFilter
+			if len(cands) > 0 {
+				if sigTab != nil {
+					sigTab.Refresh()
+				}
+				sf = newSimSigFilter(nw, f, cc, opt)
+			}
 			committed := false
 			if opt.BestGain {
 				// Evaluate every candidate and commit the best gain (ties
 				// broken toward the earliest candidate, like the serial scan).
-				results := ev.plans(nw, f, cands, opt)
-				st.DivisorTrials += len(cands)
+				results := ev.plans(nw, f, cands, opt, sf)
+				tallySigFilter(&st, results, sf)
 				best := plan{gain: 0}
 				for _, r := range results {
 					if r.ok && r.p.gain > best.gain {
@@ -184,8 +234,8 @@ func Substitute(nw *network.Network, opt Options) Stats {
 					if end > len(cands) {
 						end = len(cands)
 					}
-					results := ev.plans(nw, f, cands[start:end], opt)
-					st.DivisorTrials += end - start
+					results := ev.plans(nw, f, cands[start:end], opt, sf)
+					tallySigFilter(&st, results, sf)
 					for _, r := range results {
 						if !r.ok || r.p.gain <= 0 {
 							continue
@@ -224,6 +274,26 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	}
 	st.LitsAfter = nw.FactoredLits()
 	return st
+}
+
+// tallySigFilter folds one planner batch into the statistics: filtered
+// slots count as signature rejections (no exact trial ran); the rest count
+// as divisor trials, and — when the filter was active — as filter passes,
+// with the failed ones among them recorded as false passes.
+func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter) {
+	for _, r := range results {
+		if r.filtered {
+			st.SigFilterReject++
+			continue
+		}
+		st.DivisorTrials++
+		if sf != nil {
+			st.SigFilterPass++
+			if !r.ok || r.p.gain <= 0 {
+				st.SigFilterFalsePass++
+			}
+		}
+	}
 }
 
 // candidate pairs a divisor node with the form that passed the structural

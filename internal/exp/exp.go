@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +47,33 @@ type RunOptions struct {
 	// Workers is threaded to core.Options.Workers for every substitution
 	// run (0 = GOMAXPROCS). Literal counts are identical at any value.
 	Workers int
+	// Algorithms restricts the run to a subset of the table columns
+	// (nil = all of exp.Algorithms). Unknown names are rejected by RunWith
+	// before any circuit is processed.
+	Algorithms []string
+	// NoSigFilter disables the simulation-signature divisor prefilter in
+	// the substitution engine (threaded to core.Options.NoSigFilter).
+	// Results are identical either way; only trial counts change.
+	NoSigFilter bool
+}
+
+// algs returns the algorithm set the options select.
+func (o RunOptions) algs() []string {
+	if len(o.Algorithms) == 0 {
+		return Algorithms
+	}
+	return o.Algorithms
+}
+
+// validateAlgs rejects unknown algorithm names with a list of valid ones.
+func validateAlgs(algs []string) error {
+	for _, alg := range algs {
+		if _, ok := rarConfig(alg); !ok && alg != "sis" {
+			return fmt.Errorf("exp: unknown algorithm %q (valid: %s)",
+				alg, strings.Join(Algorithms, ", "))
+		}
+	}
+	return nil
 }
 
 // Row is one benchmark line of a table.
@@ -58,7 +86,18 @@ type Row struct {
 // Table is a full reproduction of one of the paper's tables.
 type Table struct {
 	Number int
-	Rows   []Row
+	// Algs lists the algorithm columns the table was produced with, in
+	// column order (empty = all of exp.Algorithms, for older callers).
+	Algs []string `json:",omitempty"`
+	Rows []Row
+}
+
+// algorithms returns the table's column set.
+func (t Table) algorithms() []string {
+	if len(t.Algs) == 0 {
+		return Algorithms
+	}
+	return t.Algs
 }
 
 // rarConfig maps an algorithm key to its substitution configuration.
@@ -75,36 +114,38 @@ func rarConfig(alg string) (core.Config, bool) {
 }
 
 // runAlgorithm applies one algorithm to a clone of the prepared circuit.
-func runAlgorithm(prepared *network.Network, alg string, o RunOptions) Cell {
+// An unknown algorithm is an error (callers validate CLI input upfront, so
+// this is a backstop, not a panic path).
+func runAlgorithm(prepared *network.Network, alg string, o RunOptions) (Cell, error) {
 	nw := prepared.Clone()
 	var sub *core.Stats
 	start := time.Now()
 	if cfg, ok := rarConfig(alg); ok {
-		st := core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers})
+		st := core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter})
 		sub = &st
 	} else if alg == "sis" {
 		script.ResubSISJ(o.Workers)(nw)
 	} else {
-		panic("exp: unknown algorithm " + alg)
+		return Cell{}, validateAlgs([]string{alg})
 	}
 	cpu := time.Since(start)
-	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(prepared, nw), Sub: sub}
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(prepared, nw), Sub: sub}, nil
 }
 
 // runAlgorithmFullFlow runs a whole flow with the algorithm's resub step
 // plugged in: script.algebraic for Table V, the extension script.boolean
 // flow for Table VI.
-func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOptions) Cell {
+func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOptions) (Cell, error) {
 	nw := raw.Clone()
 	var resub script.Resub
 	var sub *core.Stats
 	if cfg, ok := rarConfig(alg); ok {
 		sub = &core.Stats{}
-		resub = script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers}, sub)
+		resub = script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter}, sub)
 	} else if alg == "sis" {
 		resub = script.ResubSISJ(o.Workers)
 	} else {
-		panic("exp: unknown algorithm " + alg)
+		return Cell{}, validateAlgs([]string{alg})
 	}
 	start := time.Now()
 	if table == 6 {
@@ -113,7 +154,7 @@ func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOpti
 		script.Algebraic(nw, resub)
 	}
 	cpu := time.Since(start)
-	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(raw, nw), Sub: sub}
+	return Cell{Lits: nw.FactoredLits(), CPU: cpu, Equivalent: verify.Equivalent(raw, nw), Sub: sub}, nil
 }
 
 // Run reproduces one table (2–5) over the given circuits (nil = whole
@@ -121,16 +162,26 @@ func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOpti
 // row order and all literal counts are deterministic. CPU columns measure
 // wall time per algorithm and may inflate slightly under contention.
 func Run(table int, circuits []string) Table {
-	return RunWith(table, circuits, RunOptions{})
+	t, err := RunWith(table, circuits, RunOptions{})
+	if err != nil {
+		// Unreachable: the default options select only valid algorithms.
+		panic(err)
+	}
+	return t
 }
 
 // RunWith is Run with explicit tuning options; the produced literal counts
-// are identical for any RunOptions value.
-func RunWith(table int, circuits []string, o RunOptions) Table {
+// are identical for any RunOptions value. An error is returned (before any
+// circuit is processed) when Algorithms names an unknown algorithm.
+func RunWith(table int, circuits []string, o RunOptions) (Table, error) {
+	if err := validateAlgs(o.algs()); err != nil {
+		return Table{}, err
+	}
 	if circuits == nil {
 		circuits = bench.Names()
 	}
 	rows := make([]Row, len(circuits))
+	errs := make([]error, len(circuits))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(circuits) {
 		workers = len(circuits)
@@ -142,7 +193,7 @@ func RunWith(table int, circuits []string, o RunOptions) Table {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rows[i] = runRow(table, circuits[i], o)
+				rows[i], errs[i] = runRow(table, circuits[i], o)
 			}
 		}()
 	}
@@ -151,27 +202,37 @@ func RunWith(table int, circuits []string, o RunOptions) Table {
 	}
 	close(idx)
 	wg.Wait()
-	return Table{Number: table, Rows: rows}
+	for _, err := range errs {
+		if err != nil {
+			return Table{}, err
+		}
+	}
+	return Table{Number: table, Algs: o.algs(), Rows: rows}, nil
 }
 
-// runRow measures one benchmark under every algorithm.
-func runRow(table int, name string, o RunOptions) Row {
+// runRow measures one benchmark under every selected algorithm.
+func runRow(table int, name string, o RunOptions) (Row, error) {
 	raw := bench.Get(name)
 	row := Row{Circuit: name, Cells: make(map[string]Cell)}
+	var err error
 	if table == 5 || table == 6 {
 		row.Init = raw.FactoredLits()
-		for _, alg := range Algorithms {
-			row.Cells[alg] = runAlgorithmFullFlow(raw, alg, table, o)
+		for _, alg := range o.algs() {
+			if row.Cells[alg], err = runAlgorithmFullFlow(raw, alg, table, o); err != nil {
+				return Row{}, err
+			}
 		}
-		return row
+		return row, nil
 	}
 	prepared := raw.Clone()
 	script.Prepare(table, prepared)
 	row.Init = prepared.FactoredLits()
-	for _, alg := range Algorithms {
-		row.Cells[alg] = runAlgorithm(prepared, alg, o)
+	for _, alg := range o.algs() {
+		if row.Cells[alg], err = runAlgorithm(prepared, alg, o); err != nil {
+			return Row{}, err
+		}
 	}
-	return row
+	return row, nil
 }
 
 // Totals sums literal counts per algorithm, plus the initial total.
@@ -179,7 +240,7 @@ func (t Table) Totals() (init int, totals map[string]int) {
 	totals = make(map[string]int)
 	for _, r := range t.Rows {
 		init += r.Init
-		for _, alg := range Algorithms {
+		for _, alg := range t.algorithms() {
 			totals[alg] += r.Cells[alg].Lits
 		}
 	}
@@ -189,7 +250,7 @@ func (t Table) Totals() (init int, totals map[string]int) {
 // AllEquivalent reports whether every cell passed verification.
 func (t Table) AllEquivalent() bool {
 	for _, r := range t.Rows {
-		for _, alg := range Algorithms {
+		for _, alg := range t.algorithms() {
 			if !r.Cells[alg].Equivalent {
 				return false
 			}
@@ -202,13 +263,13 @@ func (t Table) AllEquivalent() bool {
 func (t Table) Print(w io.Writer) {
 	fmt.Fprintf(w, "Table %s — factored-form literals and CPU seconds\n", roman(t.Number))
 	fmt.Fprintf(w, "%-10s %7s", "circuit", "init.")
-	for _, alg := range Algorithms {
+	for _, alg := range t.algorithms() {
 		fmt.Fprintf(w, " | %12s %8s", AlgorithmLabel[alg], "cpu")
 	}
 	fmt.Fprintln(w)
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "%-10s %7d", r.Circuit, r.Init)
-		for _, alg := range Algorithms {
+		for _, alg := range t.algorithms() {
 			c := r.Cells[alg]
 			mark := ""
 			if !c.Equivalent {
@@ -220,12 +281,12 @@ func (t Table) Print(w io.Writer) {
 	}
 	init, totals := t.Totals()
 	fmt.Fprintf(w, "%-10s %7d", "total", init)
-	for _, alg := range Algorithms {
+	for _, alg := range t.algorithms() {
 		fmt.Fprintf(w, " | %12d %8s", totals[alg], "")
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-10s %7s", "improv.", "")
-	for _, alg := range Algorithms {
+	for _, alg := range t.algorithms() {
 		pct := 0.0
 		if init > 0 {
 			pct = 100 * float64(init-totals[alg]) / float64(init)
@@ -243,10 +304,10 @@ func (t Table) Print(w io.Writer) {
 // and per-pass wall times (the `-v` view of cmd/experiments).
 func (t Table) PrintStats(w io.Writer) {
 	fmt.Fprintf(w, "substitution engine counters (table %s)\n", roman(t.Number))
-	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %12s %12s  %s\n",
-		"circuit", "alg", "subs", "trials", "deprej", "sigcache", "complcache", "pass times")
+	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %7s %7s %6s %12s %12s  %s\n",
+		"circuit", "alg", "subs", "trials", "sigrej", "deprej", "fpass", "fp%", "sigcache", "complcache", "pass times")
 	for _, r := range t.Rows {
-		for _, alg := range Algorithms {
+		for _, alg := range t.algorithms() {
 			s := r.Cells[alg].Sub
 			if s == nil {
 				continue
@@ -258,8 +319,9 @@ func (t Table) PrintStats(w io.Writer) {
 				}
 				times += fmt.Sprintf("%.3fs", d.Seconds())
 			}
-			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %5d/%-6d %5d/%-6d  %s\n",
-				r.Circuit, alg, s.Substitutions, s.DivisorTrials, s.DepthRejected,
+			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %7d %7d %5.1f%% %5d/%-6d %5d/%-6d  %s\n",
+				r.Circuit, alg, s.Substitutions, s.DivisorTrials, s.SigFilterReject,
+				s.DepthRejected, s.SigFilterFalsePass, 100*s.FalsePassRate(),
 				s.SigCacheHits, s.SigCacheMisses, s.ComplCacheHits, s.ComplCacheMisses, times)
 		}
 	}

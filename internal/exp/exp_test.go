@@ -98,3 +98,41 @@ func TestPaperShapeHolds(t *testing.T) {
 			totals["extgdc"], totals["ext"], totals["basic"])
 	}
 }
+
+func TestRunWithUnknownAlgorithm(t *testing.T) {
+	_, err := RunWith(2, []string{"c17"}, RunOptions{Algorithms: []string{"ext", "bogus"}})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bogus") {
+		t.Errorf("error does not name the bad algorithm: %v", err)
+	}
+	for _, alg := range Algorithms {
+		if !strings.Contains(msg, alg) {
+			t.Errorf("error does not list valid algorithm %q: %v", alg, err)
+		}
+	}
+}
+
+func TestRunWithAlgorithmSubset(t *testing.T) {
+	tab, err := RunWith(2, []string{"c17"}, RunOptions{Algorithms: []string{"basic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.AllEquivalent() {
+		t.Fatal("equivalence failed")
+	}
+	r := tab.Rows[0]
+	if len(r.Cells) != 1 {
+		t.Fatalf("cells = %v, want only basic", r.Cells)
+	}
+	if _, ok := r.Cells["basic"]; !ok {
+		t.Fatal("basic cell missing")
+	}
+	var buf strings.Builder
+	tab.Print(&buf)
+	if strings.Contains(buf.String(), AlgorithmLabel["sis"]) {
+		t.Error("Print rendered a column that was not run")
+	}
+}

@@ -72,6 +72,9 @@ func (nw *Network) Compose(outer, inner string) bool {
 	o.Fanins = newFanins
 	o.Cover = out.SCC()
 	nw.NormalizeNode(outer)
+	if nw.sigs != nil {
+		nw.sigs.markDirty(outer)
+	}
 	return true
 }
 
@@ -249,6 +252,9 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 	n.Fanins = newFanins
 	n.Cover = out.SCC()
 	nw.NormalizeNode(name)
+	if nw.sigs != nil {
+		nw.sigs.markDirty(name)
+	}
 	return true
 }
 

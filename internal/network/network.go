@@ -45,7 +45,8 @@ type Network struct {
 	pis   []string
 	pos   []string
 	nodes map[string]*Node
-	order []string // node creation order, for deterministic iteration
+	order []string  // node creation order, for deterministic iteration
+	sigs  *SigTable // simulation signatures (nil unless EnableSigs), see sig.go
 }
 
 // New creates an empty network.
@@ -84,6 +85,9 @@ func (nw *Network) AddNode(name string, fanins []string, cover cube.Cover) *Node
 	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
 	nw.nodes[name] = n
 	nw.order = append(nw.order, name)
+	if nw.sigs != nil {
+		nw.sigs.markDirty(name)
+	}
 	return n
 }
 
@@ -126,9 +130,14 @@ func (nw *Network) IsPI(name string) bool { return nw.isPI(name) }
 // references it (Sweep does this in bulk).
 func (nw *Network) RemoveNode(name string) {
 	delete(nw.nodes, name)
+	if nw.sigs != nil {
+		nw.sigs.markDirty(name)
+	}
 }
 
-// Clone deep-copies the network.
+// Clone deep-copies the network. The signature table (EnableSigs) is NOT
+// carried over: clones are speculative scratch copies and must not pay for
+// signature maintenance.
 func (nw *Network) Clone() *Network {
 	c := New(nw.Name)
 	c.pis = append([]string(nil), nw.pis...)
@@ -149,6 +158,10 @@ func (nw *Network) CopyFrom(o *Network) {
 	nw.pos = c.pos
 	nw.nodes = c.nodes
 	nw.order = c.order
+	if nw.sigs != nil {
+		// A whole-network rewrite: every signature is suspect.
+		nw.sigs.markAllDirty()
+	}
 }
 
 // Fanouts returns, for every signal, the list of node names that use it as
@@ -379,6 +392,9 @@ func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.
 	}
 	n.Fanins = append([]string(nil), fanins...)
 	n.Cover = cover
+	if nw.sigs != nil {
+		nw.sigs.markDirty(name)
+	}
 	return nil
 }
 

@@ -1,0 +1,346 @@
+package network
+
+import "repro/internal/cube"
+
+// Simulation signatures: every signal carries a SigWords×64-bit word of
+// random-pattern simulation values, computed through the same word-parallel
+// evaluation the Simulate path uses. The substitution engine consults them
+// as a semantic prefilter — a divisor whose signature cannot cover the
+// dividend's care patterns cannot divide it, so the exact (netlist +
+// implication) trial is skipped. Signatures are maintained incrementally:
+// structural edits mark the rewritten signal dirty, and Refresh recomputes
+// only the dirty set plus its transitive fanout.
+
+// SigWords is the number of 64-bit pattern words per signature (SigWords*64
+// random input patterns).
+const SigWords = 4
+
+// Signature is one signal's simulation values over the SigWords*64 sampled
+// input patterns: bit k of word w is the signal's value under pattern
+// 64*w+k.
+type Signature [SigWords]uint64
+
+// And returns the bitwise AND of two signatures.
+func (s Signature) And(o Signature) Signature {
+	for w := range s {
+		s[w] &= o[w]
+	}
+	return s
+}
+
+// Or returns the bitwise OR of two signatures.
+func (s Signature) Or(o Signature) Signature {
+	for w := range s {
+		s[w] |= o[w]
+	}
+	return s
+}
+
+// Xor returns the bitwise XOR of two signatures.
+func (s Signature) Xor(o Signature) Signature {
+	for w := range s {
+		s[w] ^= o[w]
+	}
+	return s
+}
+
+// Not returns the bitwise complement.
+func (s Signature) Not() Signature {
+	for w := range s {
+		s[w] = ^s[w]
+	}
+	return s
+}
+
+// Covers reports whether every pattern set in o is also set in s (o ⊆ s).
+func (s Signature) Covers(o Signature) bool {
+	for w := range s {
+		if o[w]&^s[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether s and o share no pattern.
+func (s Signature) Disjoint(o Signature) bool {
+	for w := range s {
+		if s[w]&o[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the signature is 0 on every pattern.
+func (s Signature) IsZero() bool {
+	for w := range s {
+		if s[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllOnes returns the signature that is 1 on every pattern.
+func AllOnes() Signature {
+	var s Signature
+	for w := range s {
+		s[w] = ^uint64(0)
+	}
+	return s
+}
+
+// SigTable holds the per-signal signatures of one network. It is owned by
+// the network's serial mutator: all recomputation happens in Refresh, so
+// between a Refresh and the next mutation any number of goroutines may call
+// Sig concurrently (it is a pure map read). Clones of the network do not
+// carry the table — speculative rewrites on planner clones never pay for
+// signature maintenance.
+type SigTable struct {
+	nw       *Network
+	pi       map[string]Signature // fixed random input patterns, set once
+	sig      map[string]Signature // node signatures (clean entries only)
+	dirty    map[string]bool      // signals whose function changed since Refresh
+	allDirty bool                 // whole-network rewrite (CopyFrom): recompute all
+}
+
+// splitmix64 is the pattern generator: a tiny, deterministic PRNG stepped
+// once per (PI, word) so the sampled patterns are identical in every run.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// EnableSigs attaches (or returns the already attached) signature table and
+// computes signatures for every signal. PI patterns are a fixed
+// deterministic function of the PI's position, so two runs over the same
+// network sample identical patterns.
+func (nw *Network) EnableSigs() *SigTable {
+	if nw.sigs != nil {
+		nw.sigs.Refresh()
+		return nw.sigs
+	}
+	t := &SigTable{
+		nw:    nw,
+		pi:    make(map[string]Signature, len(nw.pis)),
+		sig:   make(map[string]Signature, len(nw.nodes)),
+		dirty: make(map[string]bool),
+	}
+	for i, pi := range nw.pis {
+		var s Signature
+		for w := 0; w < SigWords; w++ {
+			s[w] = splitmix64(uint64(i*SigWords + w + 1))
+		}
+		t.pi[pi] = s
+	}
+	t.allDirty = true
+	nw.sigs = t
+	t.Refresh()
+	return t
+}
+
+// DisableSigs detaches the signature table; subsequent edits stop paying
+// the (cheap) dirty-marking cost.
+func (nw *Network) DisableSigs() { nw.sigs = nil }
+
+// Sigs returns the attached signature table, or nil when signatures are not
+// enabled. Part of the Reader surface: the table's Sig method is a pure
+// read between refreshes.
+func (nw *Network) Sigs() *SigTable { return nw.sigs }
+
+// markDirty records that name's function changed. O(1); the transitive
+// fanout is resolved at Refresh time against the then-current graph (any
+// node whose own fanin list changed has been marked itself).
+func (t *SigTable) markDirty(name string) {
+	if t.allDirty {
+		return
+	}
+	t.dirty[name] = true
+}
+
+// markAllDirty records a whole-network rewrite.
+func (t *SigTable) markAllDirty() {
+	t.allDirty = true
+	t.dirty = make(map[string]bool)
+}
+
+// Sig returns the signature of a signal (PI or node). ok=false when the
+// signal is unknown or its signature is stale (an edit has not been
+// Refreshed yet) — callers must treat false as "no information".
+func (t *SigTable) Sig(name string) (Signature, bool) {
+	if t.allDirty || t.dirty[name] {
+		return Signature{}, false
+	}
+	if s, ok := t.pi[name]; ok {
+		return s, true
+	}
+	s, ok := t.sig[name]
+	return s, ok
+}
+
+// Refresh brings the table up to date: it recomputes the dirty signals,
+// everything in their transitive fanout, and any node the table has never
+// seen (fresh nodes introduced by a committed rewrite), in topological
+// order through the word-parallel cover evaluation Simulate uses. Entries
+// for signals that no longer exist are dropped. With nothing dirty the call
+// returns immediately.
+func (t *SigTable) Refresh() {
+	nw := t.nw
+	if !t.allDirty && len(t.dirty) == 0 {
+		return
+	}
+	need := make(map[string]bool)
+	if t.allDirty {
+		for name := range nw.nodes {
+			need[name] = true
+		}
+	} else {
+		// Dirty closure: dirty signals plus their transitive fanout in the
+		// current graph.
+		fanouts := nw.Fanouts()
+		stack := make([]string, 0, len(t.dirty))
+		for name := range t.dirty {
+			need[name] = true
+			stack = append(stack, name)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, fo := range fanouts[s] {
+				if !need[fo] {
+					need[fo] = true
+					stack = append(stack, fo)
+				}
+			}
+		}
+		// Nodes the table has never computed (added since the last Refresh).
+		for name := range nw.nodes {
+			if _, ok := t.sig[name]; !ok {
+				need[name] = true
+			}
+		}
+	}
+	val := make(map[string]uint64, 8)
+	for _, name := range nw.TopoOrder() {
+		if !need[name] {
+			continue
+		}
+		n := nw.nodes[name]
+		var out Signature
+		ok := true
+		for w := 0; w < SigWords && ok; w++ {
+			clear(val)
+			for _, f := range n.Fanins {
+				fs, found := t.lookup(f)
+				if !found {
+					ok = false
+					break
+				}
+				val[f] = fs[w]
+			}
+			if ok {
+				out[w] = evalCoverWords(n.Cover, n.Fanins, val)
+			}
+		}
+		if ok {
+			t.sig[name] = out
+		} else {
+			delete(t.sig, name) // undriven fanin: leave unknown
+		}
+	}
+	// Drop signatures of removed nodes.
+	for name := range t.sig {
+		if nw.nodes[name] == nil {
+			delete(t.sig, name)
+		}
+	}
+	t.dirty = make(map[string]bool)
+	t.allDirty = false
+}
+
+// lookup reads a signature during Refresh, ignoring dirty marks (the topo
+// walk guarantees fanins are recomputed before their fanouts).
+func (t *SigTable) lookup(name string) (Signature, bool) {
+	if s, ok := t.pi[name]; ok {
+		return s, true
+	}
+	s, ok := t.sig[name]
+	return s, ok
+}
+
+// ObsCare returns the observability signature of a signal: the sampled
+// patterns on which complementing the signal's value changes at least one
+// primary output (a signal that is itself a PO is observable on every
+// pattern). It is computed by re-simulating the signal's transitive fanout
+// with the signal's signature inverted and XOR-comparing the PO signatures.
+// ok=false when the table is stale or a needed signature is missing —
+// callers must treat that as "everything may be observable".
+func (t *SigTable) ObsCare(name string) (Signature, bool) {
+	if t.allDirty || len(t.dirty) > 0 {
+		return Signature{}, false
+	}
+	base, ok := t.lookup(name)
+	if !ok {
+		return Signature{}, false
+	}
+	nw := t.nw
+	flipped := map[string]Signature{name: base.Not()}
+	tfo := nw.TFOSet(name)
+	val := make(map[string]uint64, 8)
+	for _, n := range nw.TopoOrder() {
+		if n == name || !tfo[n] {
+			continue
+		}
+		node := nw.nodes[n]
+		var out Signature
+		for w := 0; w < SigWords; w++ {
+			clear(val)
+			for _, fi := range node.Fanins {
+				if fs, isFlipped := flipped[fi]; isFlipped {
+					val[fi] = fs[w]
+				} else if fs, found := t.lookup(fi); found {
+					val[fi] = fs[w]
+				} else {
+					return Signature{}, false
+				}
+			}
+			out[w] = evalCoverWords(node.Cover, node.Fanins, val)
+		}
+		flipped[n] = out
+	}
+	var care Signature
+	for _, po := range nw.POs() {
+		fv, isFlipped := flipped[po]
+		if !isFlipped {
+			continue // the flip never reaches this output
+		}
+		ov, ok := t.lookup(po)
+		if !ok {
+			return Signature{}, false
+		}
+		care = care.Or(fv.Xor(ov))
+	}
+	return care, true
+}
+
+// CubeSig evaluates one cube over the given fanin signals: the AND of the
+// fanin signatures in the cube's phases (the sampled-pattern set on which
+// the cube is 1). ok=false when a fanin signature is unavailable.
+func (t *SigTable) CubeSig(c cube.Cube, fanins []string) (Signature, bool) {
+	s := AllOnes()
+	for _, v := range c.Lits() {
+		fs, ok := t.Sig(fanins[v])
+		if !ok {
+			return Signature{}, false
+		}
+		if c.Get(v) == cube.Neg {
+			fs = fs.Not()
+		}
+		s = s.And(fs)
+	}
+	return s, true
+}

@@ -4,11 +4,17 @@ import "repro/internal/cube"
 
 // Simulate evaluates the network on 64 parallel input patterns: piWords maps
 // each PI name to a 64-bit word (bit k = value of that PI in pattern k).
-// It returns a word per signal (PIs included).
+// It returns a word per signal (PIs included). Every PI must be present in
+// piWords; a missing entry panics (like the package's other invariant
+// violations) rather than silently simulating the PI as constant 0.
 func (nw *Network) Simulate(piWords map[string]uint64) map[string]uint64 {
 	val := make(map[string]uint64, len(nw.nodes)+len(nw.pis))
 	for _, pi := range nw.pis {
-		val[pi] = piWords[pi]
+		w, ok := piWords[pi]
+		if !ok {
+			panic("network: Simulate missing PI " + pi)
+		}
+		val[pi] = w
 	}
 	for _, name := range nw.TopoOrder() {
 		n := nw.nodes[name]

@@ -41,7 +41,12 @@ type Reader interface {
 	Levels() (map[string]int, int)
 	// FactoredLits returns the factored-form literal total.
 	FactoredLits() int
-	// Clone deep-copies the network into a private mutable copy.
+	// Sigs returns the network's simulation-signature table, or nil when
+	// signatures are not enabled. Between the owner's serial Refresh calls
+	// the table's read methods are pure, so concurrent planners may share it.
+	Sigs() *SigTable
+	// Clone deep-copies the network into a private mutable copy (without the
+	// signature table — see Network.Clone).
 	Clone() *Network
 }
 

@@ -48,6 +48,8 @@ func satCheck(a, b *network.Network, pis, pos []string) (Result, bool) {
 		for pi, v := range out.FailingPattern {
 			if v {
 				in[pi] = 1
+			} else {
+				in[pi] = 0
 			}
 		}
 		sa, sb := a.Simulate(in), b.Simulate(in)

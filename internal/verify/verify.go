@@ -173,6 +173,9 @@ func ShrinkCounterexample(a, b *network.Network, pattern map[string]bool) map[st
 	}
 	disagree := func(p map[string]bool) bool {
 		in := map[string]uint64{}
+		for _, pi := range a.PIs() {
+			in[pi] = 0
+		}
 		for pi, v := range p {
 			if v {
 				in[pi] = 1

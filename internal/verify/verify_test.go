@@ -56,6 +56,8 @@ func TestInequivalentFindsWitness(t *testing.T) {
 	for pi, v := range r.FailingPattern {
 		if v {
 			in[pi] = 1
+		} else {
+			in[pi] = 0
 		}
 	}
 	va, vb := a.Simulate(in), b.Simulate(in)
@@ -201,6 +203,8 @@ func TestSATPathWideInequivalent(t *testing.T) {
 	for pi, v := range r.FailingPattern {
 		if v {
 			in[pi] = 1
+		} else {
+			in[pi] = 0
 		}
 	}
 	va, vb := mk(false).Simulate(in), mk(true).Simulate(in)
@@ -279,6 +283,8 @@ func TestShrinkCounterexample(t *testing.T) {
 	for pi, v := range shrunk {
 		if v {
 			in[pi] = 1
+		} else {
+			in[pi] = 0
 		}
 	}
 	if a.Simulate(in)["f"]&1 == b.Simulate(in)["f"]&1 {
