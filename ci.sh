@@ -1,11 +1,21 @@
 #!/bin/sh
-# CI gate: vet + full test suite (tier-1) + race detector over the packages
-# the parallel substitution engine touches + a fuzz smoke over the BLIF
-# parser's corpus. Run from the repo root.
+# CI gate: formatting + vet + the bdslint invariant suite + full test suite
+# (tier-1) + race detector over the packages the parallel substitution
+# engine touches + a fuzz smoke over the BLIF parser's corpus. Run from the
+# repo root.
 set -eux
+
+# Formatting gate: gofmt must have nothing to rewrite.
+test -z "$(gofmt -l .)"
 
 go vet ./...
 go build ./...
+
+# Invariant suite (see internal/analysis and DESIGN.md "Invariants: static
+# vs runtime"): maporder, noclock, roview, spawn over the whole module.
+go build -o /tmp/bdslint.ci ./cmd/bdslint
+/tmp/bdslint.ci ./...
+
 go test ./...
 go test -race ./internal/core ./internal/atpg ./internal/netlist
 go test -run Fuzz -fuzztime=10s ./internal/blif

@@ -1,0 +1,83 @@
+// Command bdslint runs the determinism-contract invariant suite (maporder,
+// noclock, roview, spawn — see internal/analysis) over the module.
+//
+// Standalone:
+//
+//	bdslint ./...                 # whole module (the CI gate)
+//	bdslint ./internal/core       # one package
+//	bdslint -list                 # describe the rules
+//
+// As a vet tool (the go/analysis unitchecker protocol, reimplemented on the
+// standard library so the repo stays dependency-free):
+//
+//	go build -o bin/bdslint ./cmd/bdslint
+//	go vet -vettool=bin/bdslint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/bdslint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches between the version probe, vet-tool mode, and the
+// standalone driver.
+func run(args []string) int {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			// go vet probes the tool's version to key its action cache.
+			fmt.Println("bdslint version 3 (determinism-contract suite)")
+			return 0
+		}
+		if a == "-flags" || a == "--flags" {
+			// go vet asks for the tool's flag set as JSON; the suite is not
+			// configurable, so an empty list is the complete answer.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0])
+	}
+
+	fs := flag.NewFlagSet("bdslint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "describe the suite's rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range bdslint.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			if len(a.Guarded) > 0 {
+				fmt.Printf("%-10s guards: %s\n", "", strings.Join(a.Guarded, ", "))
+			}
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := bdslint.LintModule(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bdslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

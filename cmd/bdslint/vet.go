@@ -1,0 +1,153 @@
+package main
+
+// Vet-tool mode: when go vet runs with -vettool=bdslint it hands the tool
+// one JSON config file per package, listing the package's sources and the
+// compiler-export files of everything it imports. This file reimplements
+// the slice of x/tools' unitchecker protocol the suite needs: parse the
+// sources, type-check against the supplied export data (no re-parsing of
+// dependencies — go vet already compiled them), run the suite, write the
+// facts file go vet expects, and report findings on stderr with exit
+// status 2, which go vet surfaces as a vet failure.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/bdslint"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet action config that the
+// suite consumes; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package described by a vet config file.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bdslint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// go vet requires the facts file regardless of findings; the suite
+	// carries no cross-package facts, so an empty file suffices.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data go vet supplies: ImportMap
+	// translates source-level paths (vendoring), PackageFile locates the
+	// compiled export file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "bdslint: type-checking %s: %v\n", cfg.ImportPath, typeErrs[0])
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	var diags []analysis.Diagnostic
+	diags = append(diags, analysis.CheckDirectives(pkg, bdslint.KnownRules())...)
+	for _, a := range bdslint.Suite() {
+		if a.AppliesTo(importPathForGuard(cfg.ImportPath)) {
+			diags = append(diags, analysis.RunAnalyzer(a, pkg)...)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		return 2
+	}
+	return 0
+}
+
+// importPathForGuard strips go vet's test-variant suffixes so guarded
+// packages match ("repro/internal/core [repro/internal/core.test]").
+func importPathForGuard(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -28,7 +28,7 @@ func TestFullPipelineEveryBenchmark(t *testing.T) {
 			script.A(nw)
 			prepared := nw.Clone()
 			preparedLits := nw.FactoredLits()
-			st := core.Substitute(nw, core.Options{Config: core.ExtendedGDC, POS: true, Pool: true})
+			st := core.Substitute(nw, core.Options{Config: core.ExtendedGDC, POS: true, Pool: true, Audit: true})
 			if !verify.Equivalent(prepared, nw) {
 				t.Fatalf("substitution broke equivalence (stats %+v)", st)
 			}
@@ -48,7 +48,7 @@ func TestOptimizedCircuitsRoundTripBlif(t *testing.T) {
 	for _, name := range []string{"csel8", "rnd_a", "pla_a", "mult3"} {
 		nw := bench.Get(name)
 		script.A(nw)
-		core.Substitute(nw, core.Options{Config: core.Extended})
+		core.Substitute(nw, core.Options{Config: core.Extended, Audit: true})
 		s := blif.ToString(nw)
 		back, err := blif.ParseString(s)
 		if err != nil {
@@ -65,7 +65,7 @@ func TestOptimizedCircuitsRoundTripBlif(t *testing.T) {
 func TestOptimizedCircuitsStayTestable(t *testing.T) {
 	nw := bench.Get("rnd_a")
 	script.A(nw)
-	core.Substitute(nw, core.Options{Config: core.ExtendedGDC, POS: true})
+	core.Substitute(nw, core.Options{Config: core.ExtendedGDC, POS: true, Audit: true})
 	b := netlist.FromNetwork(nw)
 	p := atpg.NewPodem(b.NL, 0)
 	total, redundant := 0, 0
@@ -106,7 +106,7 @@ func TestCommandPermutationsSound(t *testing.T) {
 		"gc":  {"gcx", func(n *network.Network) { opt.Gcx(n) }},
 		"gk":  {"gkx", func(n *network.Network) { opt.Gkx(n) }},
 		"de":  {"decomp", func(n *network.Network) { opt.Decomp(n) }},
-		"rs":  {"resub-ext", func(n *network.Network) { core.Substitute(n, core.Options{Config: core.Extended}) }},
+		"rs":  {"resub-ext", func(n *network.Network) { core.Substitute(n, core.Options{Config: core.Extended, Audit: true}) }},
 		"rr":  {"redundancy", func(n *network.Network) { opt.RemoveRedundancies(n, 1) }},
 		"fs":  {"full-simplify", func(n *network.Network) { opt.FullSimplify(n, 1) }},
 		"bdd": {"resub-bdd", func(n *network.Network) { opt.ResubBDD(n) }},
@@ -146,7 +146,7 @@ func TestTortureRandomNetworks(t *testing.T) {
 		base := nw.Clone()
 		for _, cfg := range []core.Config{core.Basic, core.Extended, core.ExtendedGDC} {
 			c := base.Clone()
-			core.Substitute(c, core.Options{Config: cfg, POS: true, Pool: true})
+			core.Substitute(c, core.Options{Config: cfg, POS: true, Pool: true, Audit: true})
 			if !verify.Equivalent(base, c) {
 				t.Fatalf("trial %d cfg %v: equivalence broken\n%s", trial, cfg, c.String())
 			}
@@ -220,7 +220,7 @@ func TestLargeCircuitSmoke(t *testing.T) {
 	script.A(nw)
 	prepared := nw.Clone()
 	before := nw.FactoredLits()
-	st := core.Substitute(nw, core.Options{Config: core.Extended, POS: true, WindowDepth: 4})
+	st := core.Substitute(nw, core.Options{Config: core.Extended, POS: true, WindowDepth: 4, Audit: true})
 	if !verify.Equivalent(prepared, nw) {
 		t.Fatalf("equivalence broken (stats %+v)", st)
 	}

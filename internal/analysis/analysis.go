@@ -1,0 +1,230 @@
+// Package analysis is a self-contained, standard-library-only
+// reimplementation of the slice of golang.org/x/tools/go/analysis that the
+// bdslint invariant suite needs: an Analyzer describes one check, a Pass
+// hands it a type-checked package, and diagnostics are plain positions plus
+// messages. The repo is "pure Go, standard library only" by charter, so the
+// x/tools module is deliberately not a dependency — the shapes below mirror
+// its API closely enough that migrating onto the real framework is a rename,
+// while staying buildable offline.
+//
+// The framework also owns the exemption mechanism shared by every analyzer:
+// a site that deliberately breaks a rule carries a
+//
+//	//bdslint:ignore <rule> <justification>
+//
+// comment on the flagged line or on the line directly above it. The
+// justification is mandatory — an ignore directive without one is itself a
+// diagnostic — so every exemption documents why it is sound.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant check over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name, used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Guarded lists the import-path suffixes the rule applies to when run
+	// by the driver ("internal/core", ...). Empty means every package.
+	// Test harnesses run analyzers directly and bypass this filter.
+	Guarded []string
+	// Run performs the analysis, reporting findings through the Pass.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the driver should run the analyzer on the
+// package with the given import path: either the analyzer guards every
+// package, or the path equals / ends at a path-segment boundary with one of
+// the Guarded suffixes.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Guarded) == 0 {
+		return true
+	}
+	for _, g := range a.Guarded {
+		if path == g || strings.HasSuffix(path, "/"+g) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for the package's files.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (non-test code only).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and uses for the package's expressions.
+	TypesInfo *types.Info
+	// Path is the package's import path.
+	Path string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding: a resolved position, the rule that fired, and
+// a human-readable message.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule names the analyzer (or "directive" for malformed exemptions).
+	Rule string
+	// Message explains the finding.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //bdslint:ignore comment.
+type ignoreDirective struct {
+	file    string
+	line    int
+	rule    string
+	reason  string
+	pos     token.Pos
+	matched bool
+}
+
+const directivePrefix = "//bdslint:ignore"
+
+// parseDirectives extracts every bdslint:ignore directive from the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				d := &ignoreDirective{pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				d.file, d.line = p.Filename, p.Line
+				if len(fields) > 0 {
+					d.rule = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer executes one analyzer over a loaded package and returns its
+// findings with the package's ignore directives already applied: a
+// diagnostic whose line (or the line above it) carries a matching directive
+// with a justification is suppressed. Diagnostics landing in _test.go files
+// are dropped — bdslint governs non-test code only.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Path:      pkg.Path,
+	}
+	a.Run(pass)
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		if suppressed(d, a.Name, dirs) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// suppressed reports whether a directive covers the diagnostic, marking the
+// directive used. Directives without a justification never suppress —
+// CheckDirectives turns them into findings instead.
+func suppressed(d Diagnostic, rule string, dirs []*ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.rule != rule || dir.reason == "" || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			dir.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDirectives validates the package's ignore directives themselves:
+// a directive naming no known rule or carrying no justification is a
+// finding (rule "directive"). known maps rule names recognized by the
+// running suite.
+func CheckDirectives(pkg *Package, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range parseDirectives(pkg.Fset, pkg.Files) {
+		if strings.HasSuffix(dir.file, "_test.go") {
+			continue
+		}
+		switch {
+		case dir.rule == "" || !known[dir.rule]:
+			out = append(out, Diagnostic{
+				Pos:     pkg.Fset.Position(dir.pos),
+				Rule:    "directive",
+				Message: fmt.Sprintf("bdslint:ignore names unknown rule %q", dir.rule),
+			})
+		case dir.reason == "":
+			out = append(out, Diagnostic{
+				Pos:     pkg.Fset.Position(dir.pos),
+				Rule:    "directive",
+				Message: fmt.Sprintf("bdslint:ignore %s needs a justification — say why the site is sound", dir.rule),
+			})
+		}
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, then rule, so the
+// driver's output (and CI failures) are stable run to run.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,92 @@
+// Package analysistest runs bdslint analyzers over GOPATH-style fixture
+// trees, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone. A fixture package lives at
+// testdata/src/<path>/*.go; lines expecting a finding carry a
+//
+//	// want "substring"
+//
+// comment, and the harness fails the test on any mismatch in either
+// direction, so each analyzer's test fails without its check.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one expectation comment: `// want "..."` with an optional
+// second quoted string for a line expecting two findings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+// quoted splits the quoted expectation strings out of a want comment tail.
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package at dir/src/<path>, applies the analyzer
+// (with ignore-directive filtering, so fixtures can exercise the exemption
+// mechanism too), and compares findings against the want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	l := analysis.NewLoader()
+	l.SrcDir = dir
+	pkg, err := l.LoadDir(filepath.Join(dir, "src", filepath.FromSlash(path)), path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags := analysis.RunAnalyzer(a, pkg)
+	analysis.SortDiagnostics(diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				k := key{filename, pkg.Fset.Position(c.Pos()).Line}
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					s, err := strconv.Unquote(`"` + q[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %q", filename, k.line, q[1])
+					}
+					wants[k] = append(wants[k], s)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding at %s", d)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package bdslint assembles the determinism-contract invariant suite: the
+// maporder, noclock, roview, and spawn analyzers plus validation of the
+// //bdslint:ignore exemption directives. The cmd/bdslint driver and the
+// in-repo self-lint test both run through LintModule, so CI and `go test`
+// enforce the same rules.
+package bdslint
+
+import (
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/noclock"
+	"repro/internal/analysis/roview"
+	"repro/internal/analysis/spawn"
+)
+
+// Suite returns the analyzers in the order the driver runs them.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		noclock.Analyzer,
+		roview.Analyzer,
+		spawn.Analyzer,
+	}
+}
+
+// KnownRules maps every rule name an ignore directive may cite.
+func KnownRules() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range Suite() {
+		out[a.Name] = true
+	}
+	return out
+}
+
+// LintModule type-checks every package of the module at (or above) dir and
+// runs the suite over it: each analyzer on the packages it guards, plus
+// directive validation everywhere. patterns filters the packages by
+// module-relative directory ("./...", "./internal/core", "internal/core/...");
+// empty or "./..." selects everything. Findings come back sorted.
+func LintModule(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	l, err := analysis.NewModuleLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	known := KnownRules()
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		rel, err := filepath.Rel(l.ModuleRoot, p.Dir)
+		if err != nil || !selected(filepath.ToSlash(rel), patterns) {
+			continue
+		}
+		diags = append(diags, analysis.CheckDirectives(p, known)...)
+		for _, a := range Suite() {
+			if a.AppliesTo(p.Path) {
+				diags = append(diags, analysis.RunAnalyzer(a, p)...)
+			}
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	return diags, nil
+}
+
+// selected reports whether the module-relative directory matches any
+// pattern. Patterns follow the go tool's shape: "./..." (everything), a
+// plain directory, or a "dir/..." prefix wildcard.
+func selected(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		switch {
+		case pat == "..." || pat == "":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		case rel == pat:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression facts.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages without the go tool: module
+// packages are resolved from source under ModuleRoot, GOPATH-style test
+// fixtures from SrcDir/src, and everything else (the standard library)
+// through go/importer's source importer, which compiles type information
+// straight from GOROOT. One Loader caches every package it has seen, so the
+// (slow) standard-library imports are paid once per process.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// ModuleRoot is the directory holding go.mod ("" when unused).
+	ModuleRoot string
+	// ModulePath is the module's import-path prefix ("" when unused).
+	ModulePath string
+	// SrcDir, when non-empty, resolves imports GOPATH-style from
+	// SrcDir/src/<path> before falling back to the standard library —
+	// the analysistest fixture layout.
+	SrcDir string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns an empty loader with a fresh file set.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// NewModuleLoader returns a loader rooted at the go.mod found in dir or any
+// parent of it.
+func NewModuleLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader()
+	l.ModuleRoot, l.ModulePath = root, modPath
+	return l, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and parses the module
+// path out of it.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. Test files (_test.go) are skipped: bdslint governs non-test code.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:                 importerFunc(func(p string) (*types.Package, error) { return l.importPath(p) }),
+		FakeImportC:              true,
+		Error:                    func(err error) { typeErrs = append(typeErrs, err) },
+		DisableUnusedImportCheck: true,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importPath resolves one import during type checking: module-internal
+// packages and SrcDir fixtures load from source through the loader itself;
+// anything else goes to the standard-library importer.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if l.ModulePath != "" {
+		if rel, ok := moduleRel(l.ModulePath, path); ok {
+			p, err := l.LoadDir(filepath.Join(l.ModuleRoot, rel), path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	if l.SrcDir != "" {
+		dir := filepath.Join(l.SrcDir, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			p, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel splits path into its directory relative to the module root,
+// reporting whether path lives inside the module.
+func moduleRel(modPath, path string) (string, bool) {
+	if path == modPath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}
+
+// LoadModule loads every package of the loader's module: directories under
+// ModuleRoot holding non-test Go files, excluding testdata and hidden
+// directories. Packages come back sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	if l.ModuleRoot == "" {
+		return nil, fmt.Errorf("analysis: loader has no module root")
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if path != l.ModuleRoot && (n == "testdata" || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+// Import satisfies types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

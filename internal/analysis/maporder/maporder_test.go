@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+// TestMapOrder runs the analyzer over its fixture package: the flagged
+// sites must be found, the order-blind and annotated sites must not.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "maporder")
+}

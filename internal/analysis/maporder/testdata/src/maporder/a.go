@@ -1,0 +1,70 @@
+// Package maporder is the analyzer fixture: flagged and exempt map ranges.
+package maporder
+
+import "sort"
+
+// sum observes iteration order through its bound value: flagged.
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "range over map"
+		t += v
+	}
+	return t
+}
+
+// sumKeyed binds the key: flagged.
+func sumKeyed(m map[string]int) int {
+	t := 0
+	for k := range m { // want "range over map"
+		t += len(k)
+	}
+	return t
+}
+
+// keys collects then sorts — the sanctioned pattern, exempt by annotation.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { //bdslint:ignore maporder keys sorted immediately below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count binds nothing: iterations are indistinguishable, no finding.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// blankKey binds only the blank identifier: no finding.
+func blankKey(m map[string]int) int {
+	n := 0
+	for _, _ = range m {
+		n++
+	}
+	return n
+}
+
+// overSlice ranges a slice: no finding.
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// unjustified carries an ignore directive with no reason: it must NOT
+// suppress the finding.
+func unjustified(m map[string]bool) int {
+	n := 0
+	//bdslint:ignore maporder
+	for k := range m { // want "range over map"
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noclock"
+)
+
+// TestNoClock runs the analyzer over its fixture package: wall-clock reads
+// and the math/rand import must be found, the annotated site must not.
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", noclock.Analyzer, "noclock")
+}

@@ -1,0 +1,39 @@
+// Package noclock is the analyzer fixture: wall-clock and PRNG sites.
+package noclock
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// elapsed reads the wall clock through Since: flagged.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+// deadline reads the wall clock through Until: flagged.
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "wall-clock read time.Until"
+}
+
+// sanctioned is the worked example of an exempted telemetry site.
+func sanctioned() time.Time {
+	return time.Now() //bdslint:ignore noclock fixture's one sanctioned wall-clock source
+}
+
+// seeded uses the (flagged) rand import deterministically; only the import
+// line carries the finding.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// duration uses time without reading the clock: no finding.
+func duration() time.Duration {
+	return 3 * time.Second
+}

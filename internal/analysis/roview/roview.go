@@ -1,0 +1,214 @@
+// Package roview enforces the read-only contract of network.Reader. The
+// plan/commit engine hands concurrent planners a Reader view of the shared
+// network; the type system hides the mutating methods, but values reached
+// through the view — the *Node from Node, the slices from PIs/POs/Nodes —
+// alias live network state. Writing through them, calling a mutating method
+// on them, or laundering the Reader back into a concrete type via a type
+// assertion is a data race against the serial committer and a determinism
+// bug even single-threaded. The analyzer tracks values derived from a
+// Reader inside each function ("frozen" values) and flags:
+//
+//   - assignments or ++/-- through a frozen value (n.Cover = ..., pis[0] = ...)
+//   - delete on a frozen map
+//   - mutating method calls on frozen values (pointer receivers other than
+//     the known read-only *Node helpers, and cube.Cube.Set, whose value
+//     receiver still writes shared backing storage)
+//   - type assertions on a Reader value
+//
+// The tracking is intraprocedural and follows direct assignments and range
+// statements; values that escape through helper functions are out of scope
+// (the race detector gate covers those).
+package roview
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the roview rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "roview",
+	Doc: "flag mutation or aliasing-to-writable of values reached through " +
+		"a network.Reader: planner code must treat the shared view as frozen",
+	Run: run,
+}
+
+// frozenMethods are the Reader methods whose results alias live network
+// state (Nodes returns fresh slices of live *Node; the rest return the
+// live slices/objects themselves). Everything else on Reader returns
+// per-call copies.
+var frozenMethods = map[string]bool{"Node": true, "Nodes": true, "PIs": true, "POs": true}
+
+// readOnlyPtrMethods are pointer-receiver methods safe to call on frozen
+// values: they read but do not write their receiver.
+var readOnlyPtrMethods = map[string]bool{"Clone": true, "FaninIndex": true, "Render": true}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+}
+
+// checkFunc walks one function body in source order, growing the frozen
+// set as Reader-derived values are bound and reporting mutations through
+// them. Go's declare-before-use rule makes the single forward pass sound.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	frozen := make(map[types.Object]bool)
+
+	isReader := func(e ast.Expr) bool {
+		return isReaderType(pass.TypesInfo.TypeOf(e))
+	}
+
+	// frozenExpr reports whether e is derived from a Reader view.
+	var frozenExpr func(e ast.Expr) bool
+	frozenExpr = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return frozen[pass.TypesInfo.Uses[e]]
+		case *ast.SelectorExpr:
+			return frozenExpr(e.X)
+		case *ast.IndexExpr:
+			return frozenExpr(e.X)
+		case *ast.ParenExpr:
+			return frozenExpr(e.X)
+		case *ast.StarExpr:
+			return frozenExpr(e.X)
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				return frozenMethods[sel.Sel.Name] && isReader(sel.X)
+			}
+			return false
+		}
+		return false
+	}
+
+	// ident resolves e to the object it binds, or nil.
+	ident := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+
+	// mark records that the identifier e (if any) now holds a frozen value;
+	// unmark clears it when the variable is re-bound to a private value
+	// (e.g. n = n.Clone()), keeping the forward pass flow-sensitive.
+	mark := func(e ast.Expr) {
+		if obj := ident(e); obj != nil {
+			frozen[obj] = true
+		}
+	}
+	unmark := func(e ast.Expr) {
+		if obj := ident(e); obj != nil {
+			delete(frozen, obj)
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate frozenness through direct bindings, then flag
+			// writes whose destination is reached through a frozen value.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if frozenExpr(rhs) {
+						mark(n.Lhs[i])
+					} else {
+						unmark(n.Lhs[i])
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // rebinding a variable is not a write-through
+				}
+				if frozenExpr(lhs) {
+					pass.Reportf(lhs.Pos(), "write through a network.Reader view: %s aliases the shared network — Clone first", types.ExprString(lhs))
+				}
+			}
+		case *ast.RangeStmt:
+			if frozenExpr(n.X) {
+				mark(n.Key)
+				mark(n.Value)
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := n.X.(*ast.Ident); !isIdent && frozenExpr(n.X) {
+				pass.Reportf(n.Pos(), "increment/decrement through a network.Reader view: %s aliases the shared network", types.ExprString(n.X))
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, frozenExpr)
+		case *ast.TypeAssertExpr:
+			if isReader(n.X) {
+				pass.Reportf(n.Pos(), "type assertion on a network.Reader defeats the read-only contract — accept the concrete type instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags delete on frozen maps and mutating method calls on
+// frozen receivers.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, frozenExpr func(ast.Expr) bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && frozenExpr(call.Args[0]) {
+			pass.Reportf(call.Pos(), "delete on a map reached through a network.Reader view")
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !frozenExpr(sel.X) {
+		return
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	name := sel.Sel.Name
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	ptrRecv := false
+	if recv != nil {
+		_, ptrRecv = recv.Type().(*types.Pointer)
+	}
+	// Cube.Set has a value receiver but writes the shared word slice.
+	if (ptrRecv && !readOnlyPtrMethods[name]) || name == "Set" {
+		pass.Reportf(call.Pos(), "mutating method %s on a value reached through a network.Reader view", name)
+	}
+}
+
+// isReaderType reports whether t is the network.Reader interface (the real
+// repro/internal/network one, or a package named network in test fixtures).
+func isReaderType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Reader" || obj.Pkg() == nil {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "network" || p == "repro/internal/network" || strings.HasSuffix(p, "/network")
+}

@@ -1,0 +1,15 @@
+package roview_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/roview"
+)
+
+// TestRoView runs the analyzer over its fixture package: writes, mutating
+// calls, and type assertions through the Reader must be found; clones and
+// pure reads must not.
+func TestRoView(t *testing.T) {
+	analysistest.Run(t, "testdata", roview.Analyzer, "roview")
+}

@@ -1,0 +1,76 @@
+// Package network is a miniature fixture mirror of repro/internal/network:
+// just enough surface for the roview analyzer to type-check against.
+package network
+
+// Cube mimics cube.Cube: a value type whose Set writes shared backing
+// storage.
+type Cube struct{ w []uint64 }
+
+// Set writes through the shared word slice despite the value receiver.
+func (c Cube) Set(v int) { c.w[v] = 1 }
+
+// Node is a network node; its fields and slices alias live network state
+// when reached through a Reader.
+type Node struct {
+	// Name is the node's signal name.
+	Name string
+	// Fanins lists the fanin signal names.
+	Fanins []string
+	// Cov is the node's cover.
+	Cov Cube
+	// Hits is a counter field for the increment fixture.
+	Hits int
+	// Attrs is a map field for the delete fixture.
+	Attrs map[string]string
+}
+
+// Clone returns an independent copy (read-only pointer receiver).
+func (n *Node) Clone() *Node { c := *n; return &c }
+
+// Mutate writes the receiver (a mutating pointer-receiver method).
+func (n *Node) Mutate() { n.Name = "x" }
+
+// Network is the concrete mutable type behind the Reader view.
+type Network struct {
+	nodes map[string]*Node
+	pis   []string
+	pos   []string
+}
+
+// Node returns the node driving name.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// Nodes returns all nodes.
+func (nw *Network) Nodes() []*Node {
+	var out []*Node
+	for _, n := range nw.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PIs returns the primary inputs.
+func (nw *Network) PIs() []string { return nw.pis }
+
+// POs returns the primary outputs.
+func (nw *Network) POs() []string { return nw.pos }
+
+// Clone deep-copies the network.
+func (nw *Network) Clone() *Network { c := *nw; return &c }
+
+// AddPI mutates the network (not part of Reader).
+func (nw *Network) AddPI(name string) { nw.pis = append(nw.pis, name) }
+
+// Reader is the read-only view, mirroring the real interface.
+type Reader interface {
+	// Node returns the node driving name (aliases live state).
+	Node(name string) *Node
+	// Nodes returns all nodes (elements alias live state).
+	Nodes() []*Node
+	// PIs returns the live primary-input slice.
+	PIs() []string
+	// POs returns the live primary-output slice.
+	POs() []string
+	// Clone deep-copies into a private mutable network.
+	Clone() *Network
+}

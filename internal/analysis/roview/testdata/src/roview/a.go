@@ -1,0 +1,56 @@
+// Package roview is the analyzer fixture: mutations through the Reader.
+package roview
+
+import "network"
+
+// bad mutates shared state through the view in every tracked way.
+func bad(r network.Reader) {
+	r.Node("f").Name = "g" // want "write through a network.Reader view"
+	n := r.Node("f")
+	n.Fanins[0] = "x" // want "write through a network.Reader view"
+	pis := r.PIs()
+	pis[0] = "q" // want "write through a network.Reader view"
+	for _, nd := range r.Nodes() {
+		nd.Name = "z" // want "write through a network.Reader view"
+	}
+	n.Mutate()                             // want "mutating method Mutate"
+	n.Cov.Set(1)                           // want "mutating method Set"
+	n.Hits++                               // want "increment/decrement through a network.Reader view"
+	delete(n.Attrs, "k")                   // want "delete on a map reached through a network.Reader view"
+	if w, ok := r.(*network.Network); ok { // want "type assertion on a network.Reader"
+		_ = w
+	}
+}
+
+// good reads through the view and mutates only private clones.
+func good(r network.Reader) string {
+	n := r.Node("f")
+	c := n.Clone()
+	c.Name = "mine" // a clone is private: no finding
+	c.Mutate()      // mutating a clone is fine: no finding
+	own := r.Clone()
+	own.AddPI("a") // the cloned network is private: no finding
+	total := 0
+	for _, nd := range r.Nodes() {
+		total += len(nd.Fanins) // pure read: no finding
+	}
+	pis := r.PIs()
+	_ = pis[0] // pure read: no finding
+	_ = total
+	return n.Name
+}
+
+// sanctioned shows the exemption mechanism.
+func sanctioned(r network.Reader) {
+	//bdslint:ignore roview fixture-sanctioned in-place edit
+	r.Node("f").Name = "g"
+}
+
+// rebind re-binds the local variable to a private clone, after which
+// writes through it are fine.
+func rebind(r network.Reader) {
+	n := r.Node("f")
+	n = n.Clone()
+	n.Name = "ok" // n now holds a private clone: no finding
+	_ = n
+}

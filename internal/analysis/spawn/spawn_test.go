@@ -1,0 +1,14 @@
+package spawn_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spawn"
+)
+
+// TestSpawn runs the analyzer over its fixture package: the bare goroutine
+// must be found, the annotated pool site must not.
+func TestSpawn(t *testing.T) {
+	analysistest.Run(t, "testdata", spawn.Analyzer, "spawn")
+}

@@ -1,0 +1,18 @@
+// Package spawn is the analyzer fixture: goroutine creation sites.
+package spawn
+
+// leak spawns an ad-hoc goroutine: flagged.
+func leak(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine creation"
+}
+
+// pool is the sanctioned bounded-worker-pool shape, exempt by annotation.
+func pool(ch chan int) {
+	//bdslint:ignore spawn fixture's bounded worker pool
+	go func() { ch <- 2 }()
+}
+
+// serial spawns nothing: no finding.
+func serial(ch chan int) {
+	ch <- 3
+}

@@ -13,7 +13,11 @@
 // recursive learning (Kunz–Pradhan) is available as an option.
 package atpg
 
-import "repro/internal/netlist"
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
 
 // Value is a 3-valued signal state.
 type Value int8
@@ -281,6 +285,7 @@ func (e *Engine) learnPass(depth int) (bool, bool) {
 					common[x] = sandbox.val[x]
 				}
 			} else {
+				//bdslint:ignore maporder order-invisible set intersection: entries are tested and deleted independently
 				for x, v := range common {
 					if sandbox.val[x] != v {
 						delete(common, x)
@@ -291,9 +296,18 @@ func (e *Engine) learnPass(depth int) (bool, bool) {
 		if consistentAlts == 0 {
 			return false, false
 		}
-		for x, v := range common {
+		// Assign runs implications, so the order forced assignments are
+		// applied in is observable (which assignment hits a contradiction
+		// first); sort for a reproducible schedule.
+		forced := make([]int, 0, len(common))
+		//bdslint:ignore maporder keys collected then sorted before use
+		for x := range common {
+			forced = append(forced, x)
+		}
+		sort.Ints(forced)
+		for _, x := range forced {
 			if e.val[x] == Unknown {
-				if !e.Assign(x, v) {
+				if !e.Assign(x, common[x]) {
 					return false, false
 				}
 				progressed = true

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	//bdslint:ignore noclock fixed-seed PRNG only: every rand.New site seeds deterministically
 	"math/rand"
 
 	"repro/internal/netlist"

@@ -66,6 +66,7 @@ func GenerateTestSet(nl *netlist.Netlist, podemLimit int) TestSet {
 // observable gate.
 func detects(nl *netlist.Netlist, vec map[string]bool, f Fault) bool {
 	in := make(map[string]uint64, len(vec))
+	//bdslint:ignore maporder order-invisible map-to-map copy: entries are independent
 	for pi, v := range vec {
 		if v {
 			in[pi] = 1

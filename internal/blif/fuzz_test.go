@@ -22,10 +22,18 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			return
 		}
+		// Parse runs nw.Check() itself; auditing again here catches a
+		// parser that starts returning unchecked networks.
+		if err := nw.Check(); err != nil {
+			t.Fatalf("accepted network fails structural audit: %v\ninput: %q", err, src)
+		}
 		out := ToString(nw)
 		back, err := ParseString(out)
 		if err != nil {
 			t.Fatalf("accepted input failed round trip: %v\ninput: %q\nout: %q", err, src, out)
+		}
+		if err := back.Check(); err != nil {
+			t.Fatalf("round-tripped network fails structural audit: %v\ninput: %q\nout: %q", err, src, out)
 		}
 		if len(nw.PIs()) <= 16 {
 			if !verify.Equivalent(nw, back) {

@@ -1,0 +1,33 @@
+package core
+
+import "time"
+
+// Clock abstracts the wall-clock reads the substitution driver makes for
+// pass timing. Timing is pure reporting — it must never influence the
+// committed network — so the noclock analyzer bans direct time.Now calls
+// in this package and the driver routes every read through this interface
+// instead. Tests inject a fake to make Stats.PassTimes deterministic;
+// production use leaves Options.Clock nil and gets WallClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// WallClock is the real-time Clock used when Options.Clock is nil. It is
+// the one sanctioned wall-clock site in the engine: the values feed only
+// Stats.PassTimes, which no decision reads.
+type WallClock struct{}
+
+// Now returns the current wall-clock time.
+func (WallClock) Now() time.Time {
+	//bdslint:ignore noclock sanctioned reporting-only clock source behind the Clock seam
+	return time.Now()
+}
+
+// Since returns the elapsed wall-clock time since t.
+func (WallClock) Since(t time.Time) time.Duration {
+	//bdslint:ignore noclock sanctioned reporting-only clock source behind the Clock seam
+	return time.Since(t)
+}

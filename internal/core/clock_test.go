@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per Now call, making pass timing fully
+// deterministic under test.
+type fakeClock struct {
+	now   time.Time
+	step  time.Duration
+	calls int
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.calls++
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// TestClockInjection runs Substitute with a fake clock and checks the pass
+// timings come from it — i.e. the driver reads time only through the
+// Options.Clock seam, never the wall clock directly.
+func TestClockInjection(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Second}
+	nw := gainNetwork()
+	st := Substitute(nw, Options{Config: Basic, Clock: clk})
+	if clk.calls == 0 {
+		t.Fatal("injected clock was never consulted")
+	}
+	if len(st.PassTimes) != st.Passes {
+		t.Fatalf("PassTimes has %d entries for %d passes", len(st.PassTimes), st.Passes)
+	}
+	for i, d := range st.PassTimes {
+		// Each pass brackets its work with one Now and one Since; any
+		// interleaved Now calls would only grow the reading in whole steps.
+		if d <= 0 || d%clk.step != 0 {
+			t.Errorf("pass %d: duration %v not a positive multiple of the fake step %v", i, d, clk.step)
+		}
+	}
+}
+
+// TestClockDefaultsToWallClock checks the nil-Clock path still produces
+// non-negative timings (the WallClock seam).
+func TestClockDefaultsToWallClock(t *testing.T) {
+	nw := gainNetwork()
+	st := Substitute(nw, Options{Config: Basic})
+	for i, d := range st.PassTimes {
+		if d < 0 {
+			t.Errorf("pass %d: negative duration %v", i, d)
+		}
+	}
+}

@@ -193,6 +193,7 @@ func planPooled(sc *scratch, nw network.Reader, f string, cands []candidate, opt
 	if dec != nil && work.Node(dec.CoreName) != nil {
 		after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
 	}
+	//bdslint:ignore maporder order-invisible sum: integer addition commutes
 	for name := range touched {
 		if n := work.Node(name); n != nil {
 			after += algebraic.FactorLits(n.Cover)
@@ -205,6 +206,7 @@ func planPooled(sc *scratch, nw network.Reader, f string, cands []candidate, opt
 		return plan{}, false
 	}
 	names := make([]string, 0, len(touched))
+	//bdslint:ignore maporder keys collected then sorted before use
 	for name := range touched {
 		names = append(names, name)
 	}
@@ -282,6 +284,14 @@ func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *
 		st.Decompositions++
 	}
 	st.WiresRemoved += p.removed
+	if opt.Audit {
+		// Post-commit structural audit (Options.Audit): every committed
+		// substitution must leave the network Check-clean. A violation here
+		// is an engine bug, never an input problem, so it panics.
+		if err := nw.Check(); err != nil {
+			panic("core: post-commit audit: " + err.Error())
+		}
+	}
 	return true
 }
 
@@ -348,6 +358,7 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
+		//bdslint:ignore spawn this IS the bounded worker pool the spawn rule points engine code at
 		go func(sc *scratch) {
 			defer wg.Done()
 			for {

@@ -64,6 +64,7 @@ func pooledVoteTable(sc *scratch, nw network.Reader, f string, divisors []string
 	} else {
 		scope := localScope(b, nl, f, divisors[0])
 		for _, d := range divisors[1:] {
+			//bdslint:ignore maporder order-invisible set union into scope
 			for g := range localScope(b, nl, f, d) {
 				scope[g] = true
 			}
@@ -209,6 +210,7 @@ func pooledExtendedDivide(sc *scratch, nw network.Reader, f string, divisors []s
 		}
 	}
 	if len(contrib) == 1 {
+		//bdslint:ignore maporder single-entry map: exactly one iteration, no order
 		for d := range contrib {
 			return extendedDivide(sc, nw, f, d, cfg)
 		}

@@ -58,6 +58,16 @@ type Options struct {
 	// network is bit-identical either way; only the trial count and wall
 	// time change (see sigfilter.go).
 	NoSigFilter bool
+	// Audit runs network.Check after every committed substitution and
+	// panics on a violation. The structural audit is O(network), so this is
+	// a debugging/testing mode, not a production default; the integration
+	// tests and the fuzz harness enable it.
+	Audit bool
+	// Clock supplies the wall-clock reads behind Stats.PassTimes (nil =
+	// WallClock). Timing is reporting-only — no engine decision reads it —
+	// and the seam exists so tests can fake it and so the noclock analyzer
+	// can confine real clock reads to the one sanctioned WallClock site.
+	Clock Clock
 }
 
 // Stats summarizes a substitution run.
@@ -166,6 +176,10 @@ func Substitute(nw *network.Network, opt Options) Stats {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ev := newEvaluator(workers)
+	clk := opt.Clock
+	if clk == nil {
+		clk = WallClock{}
+	}
 	st := Stats{LitsBefore: nw.FactoredLits()}
 
 	// Simulation signatures for the divisor prefilter: enabled on the live
@@ -178,7 +192,7 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	}
 
 	for pass := 0; pass < maxPasses; pass++ {
-		passStart := time.Now()
+		passStart := clk.Now()
 		changed := false
 		cc := newComplCache(maxCompl)
 		sigs := newSigCache(nw)
@@ -263,7 +277,7 @@ func Substitute(nw *network.Network, opt Options) Stats {
 			}
 		}
 		st.Passes++
-		st.PassTimes = append(st.PassTimes, time.Since(passStart))
+		st.PassTimes = append(st.PassTimes, clk.Since(passStart))
 		st.SigCacheHits += sigs.hits
 		st.SigCacheMisses += sigs.misses
 		st.ComplCacheHits += cc.hits
@@ -404,10 +418,6 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 		fSupport[s] = true
 	}
 	tfo := nw.TFOSet(f) // divisors inside f's fanout cone would form cycles
-	type scored struct {
-		c       candidate
-		overlap int
-	}
 	var out []scored
 	for _, d := range nw.SortedNodeNames() {
 		if d == f {
@@ -444,12 +454,48 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].overlap > out[j].overlap })
+	sort.SliceStable(out, func(i, j int) bool { return lessScored(out[i], out[j]) })
 	cands := make([]candidate, len(out))
 	for i, s := range out {
 		cands[i] = s.c
 	}
 	return cands
+}
+
+// scored is a candidate divisor with its support-overlap score against the
+// dividend.
+type scored struct {
+	c       candidate
+	overlap int
+}
+
+// lessScored is the full deterministic trial-order key: support overlap
+// (descending), then divisor name, then form (plain < complement < POS).
+// Overlap alone would leave tie order at the mercy of the candidate
+// construction sequence — the stable sort happened to preserve a
+// name-then-form order only because SortedNodeNames feeds candidates in
+// that order, an invariant nothing enforced. The explicit key makes the
+// trial order self-contained (and byte-identical to the historical one).
+func lessScored(a, b scored) bool {
+	if a.overlap != b.overlap {
+		return a.overlap > b.overlap
+	}
+	if a.c.name != b.c.name {
+		return a.c.name < b.c.name
+	}
+	return formRank(a.c) < formRank(b.c)
+}
+
+// formRank orders a divisor's forms for the tie-break: plain SOP division
+// first, then complement-phase SOP, then POS.
+func formRank(c candidate) int {
+	switch {
+	case c.neg:
+		return 1
+	case c.pos:
+		return 2
+	}
+	return 0
 }
 
 // commitNode installs a replacement node function, minimizing the cover

@@ -40,6 +40,7 @@ func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
 	}
 	// Boundary repair: a fanin of an included node that is not included
 	// must be a frontier input.
+	//bdslint:ignore maporder order-invisible set union: boundary repair only inserts into frontier
 	for name := range include {
 		for _, fi := range nw.Node(name).Fanins {
 			if !include[fi] {
@@ -53,6 +54,7 @@ func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
 	// gate numbering, which learning-capped implication passes are sensitive
 	// to — map iteration order here would make windowed runs irreproducible.
 	inputs := make([]string, 0, len(frontier))
+	//bdslint:ignore maporder keys collected then sorted before use
 	for name := range frontier {
 		if !include[name] {
 			inputs = append(inputs, name)

@@ -1,0 +1,147 @@
+package netlist
+
+// Runtime structural checker for the gate-level view, mirroring
+// network.Check. The netlist is edited in place by the division algorithm
+// (AddPin, RemovePin, pin-at-a-time rewiring), so a missed fanout update or
+// a cycle introduced by a bad rewire corrupts every later Eval silently —
+// Eval marks gates done before recursing and would read zeros through a
+// cycle instead of failing.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check validates the netlist's structural invariants:
+//
+//   - every fanin and fanout id is in range
+//   - gate arity matches its kind (inputs have no fanins, NOT exactly one)
+//   - the fanin and fanout lists agree edge-for-edge with multiplicity:
+//     gate f appears k times among g's fanins iff g appears k times among
+//     f's fanouts
+//   - the Signal map points at gates carrying the mapped name
+//   - POs and PONames are parallel and every PO id is in range
+//   - the inverter cache points at NOT gates over the cached source
+//   - the gate graph is acyclic
+//
+// It returns the first violation found, or nil.
+func (nl *Netlist) Check() error {
+	n := len(nl.gates)
+	inRange := func(id int) bool { return id >= 0 && id < n }
+	for g := range nl.gates {
+		gt := &nl.gates[g]
+		switch gt.kind {
+		case Input:
+			if len(gt.fanins) != 0 {
+				return fmt.Errorf("netlist: input gate %d has %d fanins", g, len(gt.fanins))
+			}
+		case Not:
+			if len(gt.fanins) != 1 {
+				return fmt.Errorf("netlist: not gate %d has %d fanins, want 1", g, len(gt.fanins))
+			}
+		}
+		for _, f := range gt.fanins {
+			if !inRange(f) {
+				return fmt.Errorf("netlist: gate %d has out-of-range fanin %d", g, f)
+			}
+			if count(gt.fanins, f) != count(nl.gates[f].fanouts, g) {
+				return fmt.Errorf("netlist: asymmetric edge %d -> %d: %d fanin pin(s) but %d fanout entr(ies)",
+					f, g, count(gt.fanins, f), count(nl.gates[f].fanouts, g))
+			}
+		}
+		for _, fo := range gt.fanouts {
+			if !inRange(fo) {
+				return fmt.Errorf("netlist: gate %d has out-of-range fanout %d", g, fo)
+			}
+			if count(nl.gates[fo].fanins, g) == 0 {
+				return fmt.Errorf("netlist: gate %d lists fanout %d, which has no such fanin pin", g, fo)
+			}
+		}
+	}
+	// Sorted iteration: the checker must report a deterministic first error.
+	signals := make([]string, 0, len(nl.Signal))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for name := range nl.Signal {
+		signals = append(signals, name)
+	}
+	sort.Strings(signals)
+	for _, name := range signals {
+		g := nl.Signal[name]
+		if !inRange(g) {
+			return fmt.Errorf("netlist: signal %q maps to out-of-range gate %d", name, g)
+		}
+		if nl.gates[g].name != name {
+			return fmt.Errorf("netlist: signal %q maps to gate %d named %q", name, g, nl.gates[g].name)
+		}
+	}
+	if len(nl.POs) != len(nl.PONames) {
+		return fmt.Errorf("netlist: %d PO gates but %d PO names", len(nl.POs), len(nl.PONames))
+	}
+	for i, g := range nl.POs {
+		if !inRange(g) {
+			return fmt.Errorf("netlist: PO %q maps to out-of-range gate %d", nl.PONames[i], g)
+		}
+	}
+	srcs := make([]int, 0, len(nl.inv))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for src := range nl.inv {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		ng := nl.inv[src]
+		if !inRange(src) || !inRange(ng) {
+			return fmt.Errorf("netlist: inverter cache entry %d -> %d out of range", src, ng)
+		}
+		if g := &nl.gates[ng]; g.kind != Not || len(g.fanins) != 1 || g.fanins[0] != src {
+			return fmt.Errorf("netlist: inverter cache entry %d -> %d does not invert its source", src, ng)
+		}
+	}
+	return nl.checkAcyclic()
+}
+
+// count returns how many entries of ids equal x.
+func count(ids []int, x int) int {
+	c := 0
+	for _, id := range ids {
+		if id == x {
+			c++
+		}
+	}
+	return c
+}
+
+// checkAcyclic runs a three-color DFS over the fanin graph. Gate ids are
+// not guaranteed topological (AddPin may wire a later gate into an earlier
+// one), so this is a real cycle check, not an id comparison.
+func (nl *Netlist) checkAcyclic() error {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, len(nl.gates))
+	var visit func(g int) error
+	visit = func(g int) error {
+		switch state[g] {
+		case visiting:
+			return fmt.Errorf("netlist: combinational cycle through gate %d", g)
+		case done:
+			return nil
+		}
+		state[g] = visiting
+		for _, f := range nl.gates[g].fanins {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+		state[g] = done
+		return nil
+	}
+	for g := range nl.gates {
+		if err := visit(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}

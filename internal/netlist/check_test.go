@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// buildCheckNet returns a small network netlist: PIs a,b,c; g = ab; f = g+c.
+func buildCheckNet(t *testing.T) *Netlist {
+	t.Helper()
+	nw := network.New("chk")
+	nw.AddPI("a")
+	nw.AddPI("b")
+	nw.AddPI("c")
+	nw.AddNode("g", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("f", []string{"g", "c"}, cube.ParseCover(2, "a + b"))
+	nw.AddPO("f")
+	nl := FromNetwork(nw).NL
+	if err := nl.Check(); err != nil {
+		t.Fatalf("pristine netlist fails Check: %v", err)
+	}
+	return nl
+}
+
+// corruptNL applies breakIt and asserts Check reports a violation
+// mentioning want.
+func corruptNL(t *testing.T, want string, breakIt func(nl *Netlist)) {
+	t.Helper()
+	nl := buildCheckNet(t)
+	breakIt(nl)
+	err := nl.Check()
+	if err == nil {
+		t.Fatalf("Check accepted a corrupted netlist (want error containing %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Check error %q does not mention %q", err, want)
+	}
+}
+
+func TestNetlistCheckAsymmetricEdge(t *testing.T) {
+	// Drop a fanout entry without touching the matching fanin pin — the
+	// kind of drift a buggy RemovePin would leave behind.
+	corruptNL(t, "asymmetric edge", func(nl *Netlist) {
+		for g := range nl.gates {
+			if len(nl.gates[g].fanouts) > 0 {
+				nl.gates[g].fanouts = nl.gates[g].fanouts[:len(nl.gates[g].fanouts)-1]
+				return
+			}
+		}
+	})
+}
+
+func TestNetlistCheckDanglingFanout(t *testing.T) {
+	corruptNL(t, "no such fanin pin", func(nl *Netlist) {
+		// Point gate 0's fanout list at a gate that has no pin on it.
+		for g := range nl.gates {
+			if len(nl.gates[g].fanins) == 0 && g != 0 {
+				nl.gates[0].fanouts = append(nl.gates[0].fanouts, g)
+				return
+			}
+		}
+		t.Fatal("no pinless gate found")
+	})
+}
+
+func TestNetlistCheckInputWithFanin(t *testing.T) {
+	corruptNL(t, "input gate", func(nl *Netlist) {
+		in := nl.Signal["a"]
+		other := nl.Signal["b"]
+		nl.gates[in].fanins = append(nl.gates[in].fanins, other)
+		nl.gates[other].fanouts = append(nl.gates[other].fanouts, in)
+	})
+}
+
+func TestNetlistCheckSignalMismatch(t *testing.T) {
+	corruptNL(t, "named", func(nl *Netlist) {
+		nl.Signal["a"] = nl.Signal["b"]
+	})
+}
+
+func TestNetlistCheckPOParallelism(t *testing.T) {
+	corruptNL(t, "PO gates", func(nl *Netlist) {
+		nl.PONames = append(nl.PONames, "extra")
+	})
+}
+
+func TestNetlistCheckInverterCache(t *testing.T) {
+	corruptNL(t, "inverter cache", func(nl *Netlist) {
+		a := nl.Signal["a"]
+		b := nl.Signal["b"]
+		nl.Invert(a)
+		nl.inv[b] = nl.inv[a]
+		delete(nl.inv, a)
+	})
+}
+
+func TestNetlistCheckCycle(t *testing.T) {
+	// AddPin can legitimately wire a later gate into an earlier one, so
+	// ids are not topological; wiring f's OR back into g's AND makes a
+	// true cycle that Eval would silently mis-evaluate.
+	corruptNL(t, "combinational cycle", func(nl *Netlist) {
+		g := nl.Signal["g"]
+		f := nl.Signal["f"]
+		nl.AddPin(g, f)
+	})
+}
+
+func TestNetlistCheckAfterPinEdits(t *testing.T) {
+	// The pin-editing entry points the division algorithm uses must keep
+	// the netlist Check-clean.
+	nl := buildCheckNet(t)
+	g := nl.Signal["g"]
+	a := nl.Signal["a"]
+	pin := nl.AddPin(g, nl.Invert(a))
+	if err := nl.Check(); err != nil {
+		t.Fatalf("Check after AddPin/Invert: %v", err)
+	}
+	nl.RemovePin(g, pin)
+	if err := nl.Check(); err != nil {
+		t.Fatalf("Check after RemovePin: %v", err)
+	}
+	nl.Reset()
+	if err := nl.Check(); err != nil {
+		t.Fatalf("Check after Reset: %v", err)
+	}
+}

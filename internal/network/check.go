@@ -1,0 +1,234 @@
+package network
+
+// Runtime structural checker: the dynamic half of the invariant suite
+// (internal/analysis is the static half). Check audits everything the
+// engine's correctness argument leans on — acyclicity, name uniqueness,
+// cover canonicity, order/nodes agreement, signature-table consistency —
+// and returns the first violation. blif.Parse runs it on every parsed
+// network, the fuzz harness runs it on every corpus input, and the engine
+// runs it after every committed substitution when Options.Audit is set.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Check validates the network's structural invariants:
+//
+//   - primary input names are unique and never doubly driven by a node
+//   - primary outputs are unique and driven by a PI or node
+//   - every live node appears exactly once in the creation order and its
+//     Name matches its map key (so Nodes() is a faithful enumeration)
+//   - fanins are distinct and driven
+//   - covers are canonical: the cover's variable space matches the fanin
+//     list and no cube is empty or sized to a different space
+//   - the node graph is acyclic (explicit DFS — a cycle is reported as an
+//     error with its path, never a panic)
+//   - the signature table, when enabled, is consistent with the structure
+//     (see checkSigs)
+//
+// It returns the first violation found, or nil.
+func (nw *Network) Check() error {
+	seenPI := make(map[string]bool, len(nw.pis))
+	for _, pi := range nw.pis {
+		if seenPI[pi] {
+			return fmt.Errorf("network %q: duplicate primary input %q", nw.Name, pi)
+		}
+		seenPI[pi] = true
+		if nw.nodes[pi] != nil {
+			return fmt.Errorf("network %q: signal %q is both a primary input and a node", nw.Name, pi)
+		}
+	}
+
+	seenPO := make(map[string]bool, len(nw.pos))
+	for _, po := range nw.pos {
+		if seenPO[po] {
+			return fmt.Errorf("network %q: duplicate primary output %q", nw.Name, po)
+		}
+		seenPO[po] = true
+		if !seenPI[po] && nw.nodes[po] == nil {
+			return fmt.Errorf("network %q: undriven primary output %q", nw.Name, po)
+		}
+	}
+
+	// Nodes() walks nw.order, so a node that is missing from the order (or
+	// listed twice after a remove/re-add) silently skews every enumeration.
+	orderCount := make(map[string]int, len(nw.order))
+	for _, name := range nw.order {
+		if nw.nodes[name] != nil {
+			orderCount[name]++
+		}
+	}
+	for _, name := range nw.SortedNodeNames() {
+		n := nw.nodes[name]
+		if n == nil {
+			return fmt.Errorf("network %q: nil node entry %q", nw.Name, name)
+		}
+		if n.Name != name {
+			return fmt.Errorf("network %q: node keyed %q carries name %q", nw.Name, name, n.Name)
+		}
+		if c := orderCount[name]; c != 1 {
+			return fmt.Errorf("network %q: node %q appears %d times in the creation order, want 1", nw.Name, name, c)
+		}
+	}
+
+	for _, n := range nw.Nodes() {
+		if err := nw.checkNode(n, seenPI); err != nil {
+			return err
+		}
+	}
+
+	if err := nw.checkAcyclic(); err != nil {
+		return err
+	}
+	return nw.checkSigs()
+}
+
+// checkNode audits one node's fanin list and cover canonicity.
+func (nw *Network) checkNode(n *Node, isPI map[string]bool) error {
+	if n.Cover.NumVars() != len(n.Fanins) {
+		return fmt.Errorf("network %q: node %q: cover space %d != %d fanins", nw.Name, n.Name, n.Cover.NumVars(), len(n.Fanins))
+	}
+	seen := make(map[string]bool, len(n.Fanins))
+	for _, f := range n.Fanins {
+		if seen[f] {
+			return fmt.Errorf("network %q: node %q: repeated fanin %q", nw.Name, n.Name, f)
+		}
+		seen[f] = true
+		if !isPI[f] && nw.nodes[f] == nil {
+			return fmt.Errorf("network %q: node %q: undriven fanin %q", nw.Name, n.Name, f)
+		}
+	}
+	for i, c := range n.Cover.Cubes {
+		if c.NumVars() != n.Cover.NumVars() {
+			return fmt.Errorf("network %q: node %q: cube %d spans %d vars, cover spans %d", nw.Name, n.Name, i, c.NumVars(), n.Cover.NumVars())
+		}
+		if c.IsEmpty() {
+			return fmt.Errorf("network %q: node %q: cube %d is empty (non-canonical cover)", nw.Name, n.Name, i)
+		}
+	}
+	return nil
+}
+
+// checkAcyclic verifies the node graph has no combinational cycle using an
+// explicit three-color DFS. Unlike TopoOrder it never panics: a cycle comes
+// back as an error naming the path, so callers (the parser, the fuzzer, the
+// audit hook) can report it. The DFS iterates nodes in sorted-name order so
+// the reported cycle is deterministic.
+func (nw *Network) checkAcyclic() error {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(nw.nodes))
+	var path []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		n := nw.nodes[name]
+		if n == nil {
+			return nil // PI or dangling reference; checkNode reports the latter
+		}
+		switch state[name] {
+		case visiting:
+			// Trim the path to the cycle proper for the message.
+			start := 0
+			for i, p := range path {
+				if p == name {
+					start = i
+					break
+				}
+			}
+			return fmt.Errorf("network %q: combinational cycle: %s -> %s", nw.Name, strings.Join(path[start:], " -> "), name)
+		case done:
+			return nil
+		}
+		state[name] = visiting
+		path = append(path, name)
+		for _, f := range n.Fanins {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+		path = path[:len(path)-1]
+		state[name] = done
+		return nil
+	}
+	for _, name := range nw.SortedNodeNames() {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSigs audits the signature table against the structure. Always: every
+// primary input must carry a pattern signature. When the table is clean (no
+// pending dirty marks) the deep audit also recomputes every node's
+// signature from its fanins' stored signatures and compares — a mismatch
+// means an edit path forgot to mark its target dirty, exactly the class of
+// bug that silently corrupts the divisor prefilter. While dirty marks are
+// pending, stored signatures are stale by design (callers Refresh before
+// reading), so only the shallow audit applies.
+func (nw *Network) checkSigs() error {
+	t := nw.sigs
+	if t == nil {
+		return nil
+	}
+	for _, pi := range nw.pis {
+		if _, ok := t.pi[pi]; !ok {
+			return fmt.Errorf("network %q: sig table missing primary input %q", nw.Name, pi)
+		}
+	}
+	if t.allDirty || len(t.dirty) > 0 {
+		return nil
+	}
+	// Clean table: stored signatures must cover exactly the computable
+	// nodes and agree with a fresh evaluation over their fanins.
+	names := make([]string, 0, len(t.sig))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for name := range t.sig {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if nw.nodes[name] == nil {
+			return fmt.Errorf("network %q: sig table holds removed node %q", nw.Name, name)
+		}
+	}
+	val := make(map[string]uint64, 8)
+	for _, name := range nw.TopoOrder() {
+		n := nw.nodes[name]
+		var want Signature
+		computable := true
+		for w := 0; w < SigWords && computable; w++ {
+			clear(val)
+			for _, f := range n.Fanins {
+				fs, ok := t.lookup(f)
+				if !ok {
+					computable = false
+					break
+				}
+				val[f] = fs[w]
+			}
+			if computable {
+				want[w] = evalCoverWords(n.Cover, n.Fanins, val)
+			}
+		}
+		got, ok := t.sig[name]
+		if !computable {
+			if ok {
+				return fmt.Errorf("network %q: sig table holds uncomputable node %q", nw.Name, name)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("network %q: sig table missing node %q while clean", nw.Name, name)
+		}
+		if got != want {
+			return fmt.Errorf("network %q: stale signature for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, name, got, want)
+		}
+	}
+	return nil
+}

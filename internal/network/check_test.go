@@ -1,0 +1,165 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+// corrupt clones buildSmall, applies break, and asserts Check reports a
+// violation mentioning want.
+func corrupt(t *testing.T, want string, breakIt func(nw *Network)) {
+	t.Helper()
+	nw := buildSmall()
+	if err := nw.Check(); err != nil {
+		t.Fatalf("pristine network fails Check: %v", err)
+	}
+	breakIt(nw)
+	err := nw.Check()
+	if err == nil {
+		t.Fatalf("Check accepted a corrupted network (want error containing %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Check error %q does not mention %q", err, want)
+	}
+}
+
+func TestCheckDuplicatePI(t *testing.T) {
+	corrupt(t, "duplicate primary input", func(nw *Network) {
+		nw.pis = append(nw.pis, "a")
+	})
+}
+
+func TestCheckDuplicatePO(t *testing.T) {
+	corrupt(t, "duplicate primary output", func(nw *Network) {
+		nw.pos = append(nw.pos, "f")
+	})
+}
+
+func TestCheckUndrivenPO(t *testing.T) {
+	corrupt(t, "undriven primary output", func(nw *Network) {
+		nw.pos = append(nw.pos, "ghost")
+	})
+}
+
+func TestCheckNodeNameMismatch(t *testing.T) {
+	corrupt(t, "carries name", func(nw *Network) {
+		nw.nodes["g"].Name = "h"
+	})
+}
+
+func TestCheckOrderDrift(t *testing.T) {
+	// A node present in the map but missing from the creation order would
+	// vanish from Nodes() — every enumeration-based pass would skip it.
+	corrupt(t, "creation order", func(nw *Network) {
+		nw.order = nw.order[1:]
+	})
+	corrupt(t, "creation order", func(nw *Network) {
+		nw.order = append(nw.order, "g")
+	})
+}
+
+func TestCheckRepeatedFanin(t *testing.T) {
+	corrupt(t, "repeated fanin", func(nw *Network) {
+		n := nw.nodes["f"]
+		n.Fanins = []string{"g", "g"}
+	})
+}
+
+func TestCheckUndrivenFanin(t *testing.T) {
+	corrupt(t, "undriven fanin", func(nw *Network) {
+		nw.nodes["f"].Fanins[1] = "ghost"
+	})
+}
+
+func TestCheckCoverSpaceMismatch(t *testing.T) {
+	corrupt(t, "cover space", func(nw *Network) {
+		n := nw.nodes["f"]
+		n.Fanins = append(n.Fanins, "a")
+	})
+}
+
+func TestCheckEmptyCube(t *testing.T) {
+	corrupt(t, "non-canonical", func(nw *Network) {
+		n := nw.nodes["g"]
+		c := cube.New(2)
+		c.Set(0, cube.Empty)
+		n.Cover.Cubes = append(n.Cover.Cubes, c)
+	})
+}
+
+func TestCheckCycle(t *testing.T) {
+	// Rewire g to depend on f while f depends on g: Check must return the
+	// cycle as an error (the old checker swallowed the TopoOrder panic via
+	// recover and reported the network clean).
+	corrupt(t, "combinational cycle", func(nw *Network) {
+		n := nw.nodes["g"]
+		n.Fanins = []string{"a", "f"}
+	})
+}
+
+func TestCheckSigTableStale(t *testing.T) {
+	// A clean signature table whose stored value disagrees with a fresh
+	// evaluation means some edit path missed markDirty — the divisor
+	// prefilter would silently run on stale simulation data.
+	corrupt(t, "stale signature", func(nw *Network) {
+		t := nw.EnableSigs()
+		t.Refresh()
+		s := t.sig["g"]
+		s[0] ^= 1
+		t.sig["g"] = s
+	})
+}
+
+func TestCheckSigTableRemovedNode(t *testing.T) {
+	corrupt(t, "removed node", func(nw *Network) {
+		t := nw.EnableSigs()
+		t.Refresh()
+		t.sig["zombie"] = Signature{}
+	})
+}
+
+func TestCheckSigTableMissingPI(t *testing.T) {
+	corrupt(t, "missing primary input", func(nw *Network) {
+		t := nw.EnableSigs()
+		delete(t.pi, "a")
+	})
+}
+
+func TestCheckSigTableDirtySkipsDeepAudit(t *testing.T) {
+	// With dirty marks pending, stored signatures are stale by design
+	// (callers Refresh before reading): the deep audit must not fire.
+	nw := buildSmall()
+	tab := nw.EnableSigs()
+	tab.Refresh()
+	s := tab.sig["g"]
+	s[0] ^= 1
+	tab.sig["g"] = s
+	tab.markDirty("g")
+	if err := nw.Check(); err != nil {
+		t.Fatalf("Check flagged a stale-but-dirty signature: %v", err)
+	}
+	tab.Refresh()
+	if err := nw.Check(); err != nil {
+		t.Fatalf("Check after Refresh: %v", err)
+	}
+}
+
+func TestCheckAfterEdits(t *testing.T) {
+	// The editing entry points must leave a Check-clean network behind.
+	nw := buildSmall()
+	nw.EnableSigs().Refresh()
+	if !nw.Compose("f", "g") {
+		t.Fatal("Compose refused")
+	}
+	nw.Sigs().Refresh()
+	if err := nw.Check(); err != nil {
+		t.Fatalf("Check after Compose: %v", err)
+	}
+	nw.Sweep()
+	nw.Sigs().Refresh()
+	if err := nw.Check(); err != nil {
+		t.Fatalf("Check after Sweep: %v", err)
+	}
+}

@@ -143,6 +143,7 @@ func (nw *Network) Clone() *Network {
 	c.pis = append([]string(nil), nw.pis...)
 	c.pos = append([]string(nil), nw.pos...)
 	c.order = append([]string(nil), nw.order...)
+	//bdslint:ignore maporder order-invisible map-to-map copy: entries are independent
 	for k, v := range nw.nodes {
 		c.nodes[k] = v.Clone()
 	}
@@ -309,29 +310,6 @@ func (nw *Network) Levels() (map[string]int, int) {
 	return lv, max
 }
 
-// Check validates structural invariants: fanins exist, covers sized, POs
-// driven, no cycles. Returns the first problem found.
-func (nw *Network) Check() error {
-	for _, n := range nw.Nodes() {
-		if n.Cover.NumVars() != len(n.Fanins) {
-			return fmt.Errorf("node %q: cover space %d != %d fanins", n.Name, n.Cover.NumVars(), len(n.Fanins))
-		}
-		for _, f := range n.Fanins {
-			if !nw.isPI(f) && nw.nodes[f] == nil {
-				return fmt.Errorf("node %q: undriven fanin %q", n.Name, f)
-			}
-		}
-	}
-	for _, po := range nw.pos {
-		if !nw.isPI(po) && nw.nodes[po] == nil {
-			return fmt.Errorf("undriven primary output %q", po)
-		}
-	}
-	defer func() { recover() }()
-	nw.TopoOrder()
-	return nil
-}
-
 // String summarizes the network, rendering each node's SOP over its fanin
 // signal names.
 func (nw *Network) String() string {
@@ -441,6 +419,7 @@ func (nw *Network) FreshName(prefix string) string {
 // iteration for tests).
 func (nw *Network) SortedNodeNames() []string {
 	out := make([]string, 0, len(nw.nodes))
+	//bdslint:ignore maporder keys collected then sorted before use
 	for k := range nw.nodes {
 		out = append(out, k)
 	}

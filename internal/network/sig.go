@@ -195,6 +195,7 @@ func (t *SigTable) Refresh() {
 	}
 	need := make(map[string]bool)
 	if t.allDirty {
+		//bdslint:ignore maporder order-invisible set fill: need gains every node regardless of order
 		for name := range nw.nodes {
 			need[name] = true
 		}
@@ -203,6 +204,7 @@ func (t *SigTable) Refresh() {
 		// current graph.
 		fanouts := nw.Fanouts()
 		stack := make([]string, 0, len(t.dirty))
+		//bdslint:ignore maporder order-invisible closure seed: the walk computes a set, and recomputation below runs in topo order
 		for name := range t.dirty {
 			need[name] = true
 			stack = append(stack, name)
@@ -218,6 +220,7 @@ func (t *SigTable) Refresh() {
 			}
 		}
 		// Nodes the table has never computed (added since the last Refresh).
+		//bdslint:ignore maporder order-invisible set fill: membership test plus insert, entries independent
 		for name := range nw.nodes {
 			if _, ok := t.sig[name]; !ok {
 				need[name] = true
@@ -253,6 +256,7 @@ func (t *SigTable) Refresh() {
 		}
 	}
 	// Drop signatures of removed nodes.
+	//bdslint:ignore maporder order-invisible sweep: entries are tested and deleted independently
 	for name := range t.sig {
 		if nw.nodes[name] == nil {
 			delete(t.sig, name)
