@@ -584,15 +584,63 @@ func BenchmarkSubstituteParallel(b *testing.B) {
 		name := map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers]
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				total := 0
+				total, trials, hits := 0, 0, 0
 				for _, base := range prepared {
 					nw := base.Clone()
-					core.Substitute(nw, core.Options{
+					st := core.Substitute(nw, core.Options{
 						Config: core.Extended, POS: true, Pool: true, Workers: workers,
 					})
 					total += nw.FactoredLits()
+					trials += st.DivisorTrials
+					hits += st.CacheHits
 				}
 				b.ReportMetric(float64(total), "lits")
+				b.ReportMetric(float64(trials), "trials")
+				if trials > 0 {
+					b.ReportMetric(100*float64(hits)/float64(trials), "hit%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstituteTrialCache measures the cross-pass trial memoization
+// cache: with the cache on, a divisor pair whose cones are structurally
+// unchanged since an earlier pass replays its stored verdict instead of
+// re-running the clone + netlist + implication trial. The committed
+// networks are bit-identical either way (TestSubstituteTrialCacheInvariant);
+// trials counts exact evaluations, hit% is the fraction of divisor trials
+// served from the cache, and lits confirms results did not move.
+func BenchmarkSubstituteTrialCache(b *testing.B) {
+	circuits := []string{"rnd_d", "rnd_e", "csel8", "mult3", "pla_c"}
+	prepared := make([]*network.Network, len(circuits))
+	for i, name := range circuits {
+		nw := bench.Get(name)
+		script.A(nw)
+		prepared[i] = nw
+	}
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"off", true}, {"on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total, trials, hits := 0, 0, 0
+				for _, base := range prepared {
+					nw := base.Clone()
+					st := core.Substitute(nw, core.Options{
+						Config: core.Extended, POS: true, Pool: true,
+						NoTrialCache: mode.noCache,
+					})
+					total += nw.FactoredLits()
+					trials += st.DivisorTrials
+					hits += st.CacheHits
+				}
+				b.ReportMetric(float64(total), "lits")
+				b.ReportMetric(float64(trials), "trials")
+				if trials > 0 {
+					b.ReportMetric(100*float64(hits)/float64(trials), "hit%")
+				}
 			}
 		})
 	}

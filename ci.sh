@@ -1,8 +1,10 @@
 #!/bin/sh
 # CI gate: formatting + vet + the bdslint invariant suite + full test suite
 # (tier-1) + race detector over the packages the parallel substitution
-# engine touches + a fuzz smoke over the BLIF parser's corpus. Run from the
-# repo root.
+# engine touches + a fuzz smoke over every fuzz target (BLIF parser, cube
+# algebra, cone hashing) + a warn-only bench-regression check of the
+# substitution engine against the committed baseline. Run from the repo
+# root.
 set -eux
 
 # Formatting gate: gofmt must have nothing to rewrite.
@@ -18,4 +20,20 @@ go build -o /tmp/bdslint.ci ./cmd/bdslint
 
 go test ./...
 go test -race ./internal/core ./internal/atpg ./internal/netlist
-go test -run Fuzz -fuzztime=10s ./internal/blif
+# Fuzz smoke. The first line replays the committed seed corpora for every
+# fuzz target (no -fuzz flag: deterministic, fails on any regressed seed).
+# The rest explore for a few seconds per target — Go accepts only one -fuzz
+# pattern per invocation, so each target gets its own line.
+go test -run Fuzz ./internal/blif ./internal/cube ./internal/network
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime=5s ./internal/blif
+go test -run '^$' -fuzz '^FuzzParseNoSemanticsCrash$' -fuzztime=5s ./internal/blif
+go test -run '^$' -fuzz '^FuzzCoverOps$' -fuzztime=5s ./internal/cube
+go test -run '^$' -fuzz '^FuzzConeHashOrderInvariance$' -fuzztime=5s ./internal/network
+
+# Bench regression (warn-only — single-shot CI timings are noisy, so this
+# prints warnings instead of failing; re-record the committed baseline with
+# the same pipeline minus the compare when a perf change is intended).
+go build -o /tmp/benchreg.ci ./cmd/benchreg
+go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$' -benchtime 1x . \
+  | /tmp/benchreg.ci -emit /tmp/BENCH_substitute.json
+/tmp/benchreg.ci -compare testdata/bench/BENCH_substitute.json /tmp/BENCH_substitute.json

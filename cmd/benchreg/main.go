@@ -1,0 +1,190 @@
+// Command benchreg is the bench-regression harness for the substitution
+// engine: it converts `go test -bench` output into a small JSON snapshot and
+// compares a fresh snapshot against a committed baseline, warning when a
+// benchmark's ns/op regressed beyond a threshold.
+//
+// Emit a snapshot (reads benchmark output on stdin):
+//
+//	go test -run '^$' -bench 'Substitute(Parallel|TrialCache)' -benchtime 1x . |
+//	    benchreg -emit BENCH_substitute.json
+//
+// Compare a snapshot against the committed baseline (warn-only — the exit
+// status stays 0 on regressions, because one-shot CI timings on shared
+// hardware are too noisy to hard-fail on; the warning is the signal):
+//
+//	benchreg -compare testdata/bench/BENCH_substitute.json BENCH_substitute.json
+//
+// Non-timing metrics (lits, trials, hit%) are carried in the snapshot so a
+// reviewer can see whether a timing shift came with a behavior shift
+// (results moving would also trip the golden-table test), but only ns/op is
+// compared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshot is the committed baseline shape (testdata/bench/BENCH_substitute.json).
+type snapshot struct {
+	// Benchmarks maps a benchmark name (GOMAXPROCS suffix stripped, e.g.
+	// "SubstituteTrialCache/on") to its measurements.
+	Benchmarks map[string]measure `json:"benchmarks"`
+}
+
+type measure struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	emit := flag.String("emit", "", "parse `go test -bench` output on stdin and write a JSON snapshot to this file")
+	compare := flag.Bool("compare", false, "compare two snapshots (args: baseline current); warn on ns/op regressions")
+	threshold := flag.Float64("threshold", 15, "regression warning threshold in percent (with -compare)")
+	flag.Parse()
+
+	switch {
+	case *emit != "" && !*compare:
+		if err := runEmit(os.Stdin, *emit); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+	case *compare && *emit == "":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreg: -compare needs exactly two args: baseline.json current.json")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchreg: exactly one of -emit FILE or -compare baseline.json current.json")
+		os.Exit(2)
+	}
+}
+
+func runEmit(r io.Reader, path string) error {
+	snap, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench` output in)")
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchreg: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	return nil
+}
+
+// parseBench reads `go test -bench` output: result lines look like
+//
+//	BenchmarkSubstituteTrialCache/on-8   1   290647451 ns/op   7.9 hit%   534 lits
+//
+// i.e. name-P, iteration count, then (value, unit) pairs.
+func parseBench(r io.Reader) (snapshot, error) {
+	snap := snapshot{Benchmarks: make(map[string]measure)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the trailing -GOMAXPROCS so snapshots compare across hosts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := measure{Metrics: make(map[string]float64)}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				m.NsPerOp = v
+				ok = true
+			} else {
+				m.Metrics[fields[i+1]] = v
+			}
+		}
+		if ok {
+			if len(m.Metrics) == 0 {
+				m.Metrics = nil
+			}
+			snap.Benchmarks[name] = m
+		}
+	}
+	return snap, sc.Err()
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return s, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+func runCompare(w io.Writer, basePath, curPath string, threshold float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	warned := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "benchreg: WARNING: %s in baseline but not in this run\n", name)
+			warned++
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if delta > threshold {
+			fmt.Fprintf(w, "benchreg: WARNING: %s regressed %.1f%% (baseline %.0f ns/op, now %.0f ns/op; threshold %.0f%%)\n",
+				name, delta, b.NsPerOp, c.NsPerOp, threshold)
+			warned++
+		} else {
+			fmt.Fprintf(w, "benchreg: %-30s %+.1f%% (baseline %.0f ns/op, now %.0f ns/op)\n",
+				name, delta, b.NsPerOp, c.NsPerOp)
+		}
+	}
+	if warned > 0 {
+		fmt.Fprintf(w, "benchreg: %d warning(s) — investigate before committing, or re-record the baseline\n", warned)
+	}
+	return nil
+}

@@ -9,12 +9,25 @@ import (
 	"runtime"
 )
 
+// MaxWorkers caps a -j worker-count flag value. The engine allocates one
+// scratch arena (netlist builder + implication engine) per worker up front,
+// so an absurd `-j 1000000` would burn gigabytes before planning a single
+// trial; nothing in the suite scales past a few hundred goroutines anyway.
+const MaxWorkers = 512
+
 // ClampWorkers sanitizes a -j worker-count flag value. 0 is the documented
 // "use GOMAXPROCS" default and resolves silently; a negative value is a user
 // mistake and resolves the same way but with a warning on w (so a typo'd
-// `-j -4` does not silently spawn an unbounded or one-worker pool). Positive
-// values pass through unchanged.
+// `-j -4` does not silently spawn an unbounded or one-worker pool). A value
+// above MaxWorkers is capped with a warning (each worker pre-allocates a
+// scratch arena). Other positive values pass through unchanged.
 func ClampWorkers(n int, w io.Writer) int {
+	if n > MaxWorkers {
+		if w != nil {
+			fmt.Fprintf(w, "warning: -j %d exceeds the per-worker scratch budget; capping at %d\n", n, MaxWorkers)
+		}
+		return MaxWorkers
+	}
 	if n > 0 {
 		return n
 	}

@@ -37,4 +37,23 @@ func TestClampWorkers(t *testing.T) {
 	if got := ClampWorkers(-1, nil); got != max {
 		t.Errorf("ClampWorkers(-1, nil) = %d, want %d", got, max)
 	}
+
+	// Huge values are capped (each worker pre-allocates a scratch arena).
+	buf.Reset()
+	if got := ClampWorkers(1_000_000, &buf); got != MaxWorkers {
+		t.Errorf("ClampWorkers(1000000) = %d, want MaxWorkers=%d", got, MaxWorkers)
+	}
+	if !strings.Contains(buf.String(), "1000000") {
+		t.Errorf("huge count did not warn with the value: %q", buf.String())
+	}
+	buf.Reset()
+	if got := ClampWorkers(MaxWorkers, &buf); got != MaxWorkers {
+		t.Errorf("ClampWorkers(MaxWorkers) = %d, want %d (boundary passes through)", got, MaxWorkers)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("boundary value warned: %q", buf.String())
+	}
+	if got := ClampWorkers(MaxWorkers+1, nil); got != MaxWorkers {
+		t.Errorf("ClampWorkers(MaxWorkers+1, nil) = %d, want %d", got, MaxWorkers)
+	}
 }

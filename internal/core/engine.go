@@ -56,9 +56,12 @@ type plan struct {
 	newCover  cube.Cover
 
 	// Whole-network rewrite: commit copies work over the live network and
-	// invalidates the touched node names in the pass caches.
+	// invalidates the touched node names in the pass caches. core names the
+	// node extended division added when it decomposed the divisor ("" when
+	// none) — the trial cache stores work plans as {f, d, core} deltas.
 	work    *network.Network
 	touched []string
+	core    string
 }
 
 // isNode reports whether the plan is a node-function rewrite.
@@ -146,6 +149,10 @@ func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Opti
 			p.gain = basicGain
 			return p, true
 		}
+		core := ""
+		if extDec != nil {
+			core = extDec.CoreName
+		}
 		return plan{
 			target:  f,
 			divisor: d,
@@ -154,6 +161,7 @@ func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Opti
 			removed: extRes.WiresRemoved,
 			work:    extWork,
 			touched: []string{f, d},
+			core:    core,
 		}, true
 	}
 }
@@ -305,6 +313,10 @@ type planResult struct {
 	// produce no committable (positive-gain) plan, so downstream the slot
 	// behaves exactly like ok=false: the reducer would have skipped it.
 	filtered bool
+	// cached marks a result replayed from the trial memoization cache:
+	// planPair never ran, but p/ok are byte-identical to what it would have
+	// produced, so the slot still counts as a divisor trial in the stats.
+	cached bool
 }
 
 // evaluator fans planPair calls over a bounded worker pool. Each worker
@@ -331,22 +343,56 @@ func newEvaluator(workers int) *evaluator {
 // results in candidate order. The simulation-signature prefilter (sf, nil =
 // off) runs first, serially: candidates it rejects are marked filtered and
 // never reach planPair, so they skip the trial clone, the netlist build and
-// the implication engine. With one worker (or one surviving candidate) the
-// evaluation is inlined — no goroutines, identical to the historical serial
-// driver including allocation behavior.
-func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options, sf *simSigFilter) []planResult {
+// the implication engine. The trial memoization cache (tc, nil = off)
+// consults next, also serially: an admitted candidate whose fingerprint
+// hits replays the stored result without a trial; misses remember their key
+// so the worker that runs the trial can store the outcome. With one worker
+// (or one surviving candidate) the evaluation is inlined — no goroutines,
+// identical to the historical serial driver including allocation behavior.
+func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options, sf *simSigFilter, tc *TrialCache) []planResult {
 	res := make([]planResult, len(cands))
 	todo := make([]int, 0, len(cands))
+	var keys []trialKey
+	var keyOK []bool
+	if tc != nil {
+		keys = make([]trialKey, len(cands))
+		keyOK = make([]bool, len(cands))
+	}
+	ct := nw.Cones()
 	for i, c := range cands {
 		if !sf.admits(c) {
 			res[i].filtered = true
 			continue
 		}
+		if tc != nil {
+			if k, ok := trialCacheKey(ct, f, c, opt); ok {
+				if e, hit := tc.lookup(k); hit {
+					if p, pOK, usable := e.replay(nw, f, c.name); usable {
+						if opt.Audit {
+							auditCachedHit(ev.scratches[0], nw, f, c, opt, p, pOK)
+						}
+						res[i].p, res[i].ok, res[i].cached = p, pOK, true
+						continue
+					}
+				}
+				keys[i], keyOK[i] = k, true
+			}
+		}
 		todo = append(todo, i)
+	}
+	// runOne evaluates slot i for real and memoizes the outcome under the
+	// key computed (serially, against the pre-wave state) above. Entry data
+	// is deep-copied by store, so concurrent stores from workers only
+	// contend on the shard mutex.
+	runOne := func(sc *scratch, i int) {
+		res[i].p, res[i].ok = planPair(sc, nw, f, cands[i], opt)
+		if tc != nil && keyOK[i] {
+			tc.store(keys[i], res[i].p, res[i].ok)
+		}
 	}
 	if ev.workers == 1 || len(todo) <= 1 {
 		for _, i := range todo {
-			res[i].p, res[i].ok = planPair(ev.scratches[0], nw, f, cands[i], opt)
+			runOne(ev.scratches[0], i)
 		}
 		return res
 	}
@@ -366,8 +412,7 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 				if k >= len(todo) {
 					return
 				}
-				i := todo[k]
-				res[i].p, res[i].ok = planPair(sc, nw, f, cands[i], opt)
+				runOne(sc, todo[k])
 			}
 		}(ev.scratches[w])
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/blif"
 	"repro/internal/network"
@@ -69,6 +71,57 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 	if acc.Substitutions != 3 || acc.Passes != 3 || acc.DivisorTrials != 8 {
 		t.Errorf("counter sums wrong: %+v", acc)
+	}
+}
+
+// TestStatsAccumulateAssociative: folding (a then b) then c equals folding a
+// then (b accumulated with c) — the property that lets a multi-call flow
+// (script.ResubRARWith across passes, the experiment harness across cells)
+// merge stats in any grouping. Exercised with every counter populated,
+// including the trial-cache fields this property must extend to.
+func TestStatsAccumulateAssociative(t *testing.T) {
+	mk := func(k int) Stats {
+		return Stats{
+			Substitutions:      k,
+			POSSubstitutions:   2 * k,
+			Decompositions:     3 * k,
+			WiresRemoved:       4 * k,
+			LitsBefore:         100 + k,
+			LitsAfter:          90 + k,
+			DivisorTrials:      5 * k,
+			SigFilterReject:    6 * k,
+			SigFilterPass:      7 * k,
+			SigFilterFalsePass: 8 * k,
+			DepthRejected:      9 * k,
+			SigCacheHits:       10 * k,
+			SigCacheMisses:     11 * k,
+			CacheHits:          12 * k,
+			CacheMisses:        13 * k,
+			CacheInvalidated:   14 * k,
+			ComplCacheHits:     15 * k,
+			ComplCacheMisses:   16 * k,
+			Passes:             k,
+			PassTimes:          []time.Duration{time.Duration(k) * time.Millisecond},
+		}
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+
+	var left Stats
+	left.Accumulate(a)
+	left.Accumulate(b)
+	left.Accumulate(c)
+
+	bc := b
+	bc.Accumulate(c)
+	var right Stats
+	right.Accumulate(a)
+	right.Accumulate(bc)
+
+	if !reflect.DeepEqual(left, right) {
+		t.Errorf("Accumulate is not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+	if left.CacheHits != 12*6 || left.CacheMisses != 13*6 || left.CacheInvalidated != 14*6 {
+		t.Errorf("cache counters not summed: %+v", left)
 	}
 }
 

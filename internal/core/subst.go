@@ -58,9 +58,23 @@ type Options struct {
 	// network is bit-identical either way; only the trial count and wall
 	// time change (see sigfilter.go).
 	NoSigFilter bool
+	// TrialCache supplies a shared trial memoization cache (see
+	// trialcache.go): division-trial outcomes keyed by the canonical
+	// structural fingerprint of the trial, replayed on a hit without the
+	// clone/netlist/implication work. nil = the run creates a private cache
+	// (entries live across that run's passes); supply one explicitly to
+	// share proven trials across Substitute calls. The cache is
+	// result-invisible: the committed network is bit-identical with the
+	// cache on or off, at any worker count.
+	TrialCache *TrialCache
+	// NoTrialCache disables trial memoization entirely (the `-nocache`
+	// flag). Only trial counts and wall time change; the result does not.
+	NoTrialCache bool
 	// Audit runs network.Check after every committed substitution and
-	// panics on a violation. The structural audit is O(network), so this is
-	// a debugging/testing mode, not a production default; the integration
+	// panics on a violation, and re-runs every trial-cache hit for real,
+	// panicking unless the replayed plan matches the fresh trial
+	// byte-for-byte. The audits are O(network)/O(trial), so this is a
+	// debugging/testing mode, not a production default; the integration
 	// tests and the fuzz harness enable it.
 	Audit bool
 	// Clock supplies the wall-clock reads behind Stats.PassTimes (nil =
@@ -102,6 +116,14 @@ type Stats struct {
 	// SigCacheHits/SigCacheMisses count lookups of per-node cube literal
 	// signatures during candidate filtering.
 	SigCacheHits, SigCacheMisses int
+	// CacheHits counts divisor trials replayed from the trial memoization
+	// cache (no clone, netlist, or implication run — but still counted in
+	// DivisorTrials, since the verdict was consumed). CacheMisses counts
+	// trials that ran for real while the cache was active. CacheInvalidated
+	// totals the cone-hash entries committed rewrites changed or dropped
+	// (ConeTable.Refresh's changed count): the number of structural keys
+	// each commit killed, 0 for the initial hash computation.
+	CacheHits, CacheMisses, CacheInvalidated int
 	// ComplCacheHits/ComplCacheMisses count memoized complement-cover
 	// lookups (POS and complement-phase filtering).
 	ComplCacheHits, ComplCacheMisses int
@@ -131,6 +153,9 @@ func (s *Stats) Accumulate(o Stats) {
 	s.DepthRejected += o.DepthRejected
 	s.SigCacheHits += o.SigCacheHits
 	s.SigCacheMisses += o.SigCacheMisses
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheInvalidated += o.CacheInvalidated
 	s.ComplCacheHits += o.ComplCacheHits
 	s.ComplCacheMisses += o.ComplCacheMisses
 	s.Passes += o.Passes
@@ -145,6 +170,15 @@ func (s *Stats) FalsePassRate() float64 {
 		return 0
 	}
 	return float64(s.SigFilterFalsePass) / float64(s.SigFilterPass)
+}
+
+// CacheHitRate is the fraction of cache-consulted trials served from the
+// trial memoization cache (0 when the cache never saw a trial).
+func (s *Stats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
 // Substitute runs Boolean substitution over the whole network with the
@@ -191,6 +225,22 @@ func Substitute(nw *network.Network, opt Options) Stats {
 		defer nw.DisableSigs()
 	}
 
+	// Trial memoization (see trialcache.go): structural cone hashes on the
+	// live network key a worker-shared cache of trial outcomes. A private
+	// cache still pays off — entries survive across the run's passes, and
+	// most second-pass trials replay. Invalidation is implicit: Refresh
+	// recomputes the hashes a commit changed, so stale keys never match.
+	var tc *TrialCache
+	var coneTab *network.ConeTable
+	if !opt.NoTrialCache {
+		tc = opt.TrialCache
+		if tc == nil {
+			tc = NewTrialCache()
+		}
+		coneTab = nw.EnableCones()
+		defer nw.DisableCones()
+	}
+
 	for pass := 0; pass < maxPasses; pass++ {
 		passStart := clk.Now()
 		changed := false
@@ -218,14 +268,17 @@ func Substitute(nw *network.Network, opt Options) Stats {
 				if sigTab != nil {
 					sigTab.Refresh()
 				}
+				if coneTab != nil {
+					st.CacheInvalidated += coneTab.Refresh()
+				}
 				sf = newSimSigFilter(nw, f, cc, opt)
 			}
 			committed := false
 			if opt.BestGain {
 				// Evaluate every candidate and commit the best gain (ties
 				// broken toward the earliest candidate, like the serial scan).
-				results := ev.plans(nw, f, cands, opt, sf)
-				tallySigFilter(&st, results, sf)
+				results := ev.plans(nw, f, cands, opt, sf, tc)
+				tallySigFilter(&st, results, sf, tc != nil)
 				best := plan{gain: 0}
 				for _, r := range results {
 					if r.ok && r.p.gain > best.gain {
@@ -248,8 +301,8 @@ func Substitute(nw *network.Network, opt Options) Stats {
 					if end > len(cands) {
 						end = len(cands)
 					}
-					results := ev.plans(nw, f, cands[start:end], opt, sf)
-					tallySigFilter(&st, results, sf)
+					results := ev.plans(nw, f, cands[start:end], opt, sf, tc)
+					tallySigFilter(&st, results, sf, tc != nil)
 					for _, r := range results {
 						if !r.ok || r.p.gain <= 0 {
 							continue
@@ -293,14 +346,25 @@ func Substitute(nw *network.Network, opt Options) Stats {
 // tallySigFilter folds one planner batch into the statistics: filtered
 // slots count as signature rejections (no exact trial ran); the rest count
 // as divisor trials, and — when the filter was active — as filter passes,
-// with the failed ones among them recorded as false passes.
-func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter) {
+// with the failed ones among them recorded as false passes. Cached slots
+// are still divisor trials (the verdict was consumed; the sig-filter
+// arithmetic DivisorTrials + SigFilterReject is unchanged by caching) but
+// are additionally tallied as cache hits; the rest count as misses while
+// the cache is active.
+func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter, cacheOn bool) {
 	for _, r := range results {
 		if r.filtered {
 			st.SigFilterReject++
 			continue
 		}
 		st.DivisorTrials++
+		if cacheOn {
+			if r.cached {
+				st.CacheHits++
+			} else {
+				st.CacheMisses++
+			}
+		}
 		if sf != nil {
 			st.SigFilterPass++
 			if !r.ok || r.p.gain <= 0 {

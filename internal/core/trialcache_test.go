@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/blif"
+)
+
+// TestSubstituteTrialCacheInvariant is the cache's headline guarantee: the
+// committed network is byte-identical with trial memoization on or off, at
+// any worker count, across multi-pass runs — and so are all the result
+// statistics (gains, substitutions, trial counts). Only the cache's own
+// counters may differ. Audit is on throughout, so every hit is additionally
+// re-run for real and compared byte-for-byte inside the engine.
+func TestSubstituteTrialCacheInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(97531))
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	totalHits := 0
+	run := func(t *testing.T, label, baseBLIF string, cfg Config) {
+		base, err := blif.ParseString(baseBLIF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range workerSet {
+			opt := Options{
+				Config:    cfg,
+				POS:       true,
+				Pool:      true,
+				MaxPasses: 3,
+				Workers:   workers,
+				Audit:     true,
+			}
+			on := base.Clone()
+			stOn := Substitute(on, opt)
+			opt.NoTrialCache = true
+			off := base.Clone()
+			stOff := Substitute(off, opt)
+			if a, b := blif.ToString(on), blif.ToString(off); a != b {
+				t.Fatalf("%s cfg %v workers %d: trial cache changed the committed network\n--- cache on ---\n%s\n--- cache off ---\n%s",
+					label, cfg, workers, a, b)
+			}
+			// Full stats equality modulo the cache's own counters and wall
+			// time: zero them and compare the rest field-for-field.
+			normOn, normOff := stOn, stOff
+			normOn.CacheHits, normOn.CacheMisses, normOn.CacheInvalidated = 0, 0, 0
+			normOff.CacheHits, normOff.CacheMisses, normOff.CacheInvalidated = 0, 0, 0
+			normOn.PassTimes, normOff.PassTimes = nil, nil
+			if !reflect.DeepEqual(normOn, normOff) {
+				t.Errorf("%s cfg %v workers %d: stats diverged beyond cache counters:\non  %+v\noff %+v",
+					label, cfg, workers, normOn, normOff)
+			}
+			if stOff.CacheHits != 0 || stOff.CacheMisses != 0 || stOff.CacheInvalidated != 0 {
+				t.Errorf("%s cfg %v workers %d: disabled cache recorded activity: %+v", label, cfg, workers, stOff)
+			}
+			if got, want := stOn.CacheHits+stOn.CacheMisses, stOn.DivisorTrials; got != want {
+				t.Errorf("%s cfg %v workers %d: hits+misses = %d, trials = %d", label, cfg, workers, got, want)
+			}
+			totalHits += stOn.CacheHits
+		}
+	}
+	for trial := 0; trial < 4; trial++ {
+		base := randomDAG(r, 4, 7)
+		for _, cfg := range []Config{Basic, Extended, ExtendedGDC} {
+			run(t, "rand", blif.ToString(base), cfg)
+		}
+	}
+	run(t, "gain", blif.ToString(gainNetwork()), Basic)
+	if totalHits == 0 {
+		t.Error("cache never hit across the whole sweep — memoization is dead")
+	}
+}
+
+// TestTrialCacheSecondRunHitRate drives the cross-run sharing mode: a
+// TrialCache populated by one run serves the bulk of an identical second
+// run's trials. This is the controlled form of the ≥30% second-pass
+// hit-rate acceptance bar (cmd/experiments reports the same counters).
+func TestTrialCacheSecondRunHitRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1357))
+	base := randomDAG(r, 5, 10)
+	tc := NewTrialCache()
+	opt := Options{Config: Extended, POS: true, TrialCache: tc, MaxPasses: 1}
+
+	first := base.Clone()
+	st1 := Substitute(first, opt)
+	if st1.CacheMisses == 0 {
+		t.Fatal("first run recorded no cache misses — nothing was memoized")
+	}
+	if tc.Len() == 0 {
+		t.Fatal("first run stored no entries")
+	}
+
+	second := base.Clone()
+	st2 := Substitute(second, opt)
+	if got := st2.CacheHitRate(); got < 0.30 {
+		t.Errorf("second identical run hit rate = %.2f (hits %d, misses %d), want >= 0.30",
+			got, st2.CacheHits, st2.CacheMisses)
+	}
+	if a, b := blif.ToString(first), blif.ToString(second); a != b {
+		t.Error("cache-served second run committed a different network than the first")
+	}
+}
+
+// TestTrialCacheAuditCatchesCorruption proves Options.Audit is a real
+// tripwire: a deliberately corrupted cache entry (a stale gain, exactly
+// what a missed invalidation would produce) is caught on the next hit with
+// a "trial cache audit" panic instead of silently committing a wrong plan.
+func TestTrialCacheAuditCatchesCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(2468))
+	base := randomDAG(r, 5, 10)
+	tc := NewTrialCache()
+	opt := Options{Config: Extended, POS: true, TrialCache: tc, MaxPasses: 1}
+	if st := Substitute(base.Clone(), opt); st.CacheMisses == 0 {
+		t.Fatal("populating run recorded no trials")
+	}
+
+	// Corrupt every positive entry's gain — the replayed plan can no longer
+	// match a fresh trial.
+	corrupted := 0
+	for i := range tc.shards {
+		s := &tc.shards[i]
+		for _, e := range s.m {
+			if e.ok {
+				e.gain += 1000
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Skip("no positive entries to corrupt on this seed")
+	}
+
+	opt.Audit = true
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("corrupted cache entry was replayed without tripping the audit")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, "trial cache audit") {
+			t.Fatalf("unexpected panic: %v", rec)
+		}
+	}()
+	Substitute(base.Clone(), opt)
+}
+
+// TestTrialCacheKeyStability: the fingerprint separates what must be
+// separated (dividend, divisor, form, config) and ignores nothing that
+// steers a trial.
+func TestTrialCacheKeyStability(t *testing.T) {
+	nw := gainNetwork()
+	ct := nw.EnableCones()
+	defer nw.DisableCones()
+	names := nw.SortedNodeNames()
+	if len(names) < 2 {
+		t.Fatal("gainNetwork too small")
+	}
+	f, d := names[0], names[1]
+	opt := Options{Config: Basic}
+	k1, ok := trialCacheKey(ct, f, candidate{name: d}, opt)
+	if !ok {
+		t.Fatal("no key for clean table")
+	}
+	if k2, _ := trialCacheKey(ct, f, candidate{name: d}, opt); k2 != k1 {
+		t.Error("same trial produced different keys")
+	}
+	if k2, _ := trialCacheKey(ct, f, candidate{name: d, neg: true}, opt); k2 == k1 {
+		t.Error("complement-phase form shares the plain form's key")
+	}
+	if k2, _ := trialCacheKey(ct, f, candidate{name: d}, Options{Config: Extended}); k2 == k1 {
+		t.Error("different Config shares the key")
+	}
+	if k2, _ := trialCacheKey(ct, d, candidate{name: f}, opt); k2 == k1 {
+		t.Error("swapped dividend/divisor shares the key")
+	}
+	if _, ok := trialCacheKey(nil, f, candidate{name: d}, opt); ok {
+		t.Error("nil cone table produced a key")
+	}
+}

@@ -55,6 +55,18 @@ type RunOptions struct {
 	// the substitution engine (threaded to core.Options.NoSigFilter).
 	// Results are identical either way; only trial counts change.
 	NoSigFilter bool
+	// NoTrialCache disables the trial memoization cache (threaded to
+	// core.Options.NoTrialCache, the `-nocache` flag). Results are identical
+	// either way; only trial costs and the cache counters change.
+	NoTrialCache bool
+	// TrialCache, when non-nil, is shared by every substitution run of the
+	// table (threaded to core.Options.TrialCache) — and, when the caller
+	// reuses it, across whole table runs. cmd/experiments' -passes flag
+	// uses this to demonstrate cross-pass memoization: on a second pass
+	// over an unchanged suite most divisor cones hash to keys the first
+	// pass stored, so trials replay instead of re-running. Results are
+	// identical with or without it.
+	TrialCache *core.TrialCache
 }
 
 // algs returns the algorithm set the options select.
@@ -121,7 +133,7 @@ func runAlgorithm(prepared *network.Network, alg string, o RunOptions) (Cell, er
 	var sub *core.Stats
 	start := time.Now()
 	if cfg, ok := rarConfig(alg); ok {
-		st := core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter})
+		st := core.Substitute(nw, core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter, NoTrialCache: o.NoTrialCache, TrialCache: o.TrialCache})
 		sub = &st
 	} else if alg == "sis" {
 		script.ResubSISJ(o.Workers)(nw)
@@ -141,7 +153,7 @@ func runAlgorithmFullFlow(raw *network.Network, alg string, table int, o RunOpti
 	var sub *core.Stats
 	if cfg, ok := rarConfig(alg); ok {
 		sub = &core.Stats{}
-		resub = script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter}, sub)
+		resub = script.ResubRARWith(core.Options{Config: cfg, POS: true, Pool: true, Workers: o.Workers, NoSigFilter: o.NoSigFilter, NoTrialCache: o.NoTrialCache, TrialCache: o.TrialCache}, sub)
 	} else if alg == "sis" {
 		resub = script.ResubSISJ(o.Workers)
 	} else {
@@ -304,8 +316,9 @@ func (t Table) Print(w io.Writer) {
 // and per-pass wall times (the `-v` view of cmd/experiments).
 func (t Table) PrintStats(w io.Writer) {
 	fmt.Fprintf(w, "substitution engine counters (table %s)\n", roman(t.Number))
-	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %7s %7s %6s %12s %12s  %s\n",
-		"circuit", "alg", "subs", "trials", "sigrej", "deprej", "fpass", "fp%", "sigcache", "complcache", "pass times")
+	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %7s %7s %6s %13s %6s %6s %12s %12s  %s\n",
+		"circuit", "alg", "subs", "trials", "sigrej", "deprej", "fpass", "fp%",
+		"trialcache", "hit%", "inval", "sigcache", "complcache", "pass times")
 	for _, r := range t.Rows {
 		for _, alg := range t.algorithms() {
 			s := r.Cells[alg].Sub
@@ -319,9 +332,10 @@ func (t Table) PrintStats(w io.Writer) {
 				}
 				times += fmt.Sprintf("%.3fs", d.Seconds())
 			}
-			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %7d %7d %5.1f%% %5d/%-6d %5d/%-6d  %s\n",
+			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %7d %7d %5.1f%% %6d/%-6d %5.1f%% %6d %5d/%-6d %5d/%-6d  %s\n",
 				r.Circuit, alg, s.Substitutions, s.DivisorTrials, s.SigFilterReject,
 				s.DepthRejected, s.SigFilterFalsePass, 100*s.FalsePassRate(),
+				s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheInvalidated,
 				s.SigCacheHits, s.SigCacheMisses, s.ComplCacheHits, s.ComplCacheMisses, times)
 		}
 	}

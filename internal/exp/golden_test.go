@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates the committed golden table instead of comparing:
+//
+//	go test ./internal/exp -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/experiments.json from this run")
+
+const goldenPath = "../../testdata/golden/experiments.json"
+
+// goldenTable is the committed snapshot: per-circuit factored-literal counts
+// for every algorithm flow of Table II, plus the prepared initial counts.
+// Literal counts are fully deterministic (the engine commits bit-identical
+// networks at any worker count, cache on or off), so any drift here is a
+// behavior change — intended ones are re-recorded with -update, and the diff
+// below makes unintended ones (an engine regression skewing EXPERIMENTS.md)
+// visible circuit by circuit in tier-1.
+type goldenTable struct {
+	Table    int                       `json:"table"`
+	Circuits map[string]map[string]int `json:"circuits"`
+}
+
+// snapshot flattens a Table into the golden shape.
+func snapshot(t Table) goldenTable {
+	g := goldenTable{Table: t.Number, Circuits: make(map[string]map[string]int)}
+	for _, r := range t.Rows {
+		row := map[string]int{"init": r.Init}
+		for _, alg := range t.algorithms() {
+			row[alg] = r.Cells[alg].Lits
+		}
+		g.Circuits[r.Circuit] = row
+	}
+	return g
+}
+
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment run")
+	}
+	got := snapshot(Run(2, nil))
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d circuits)", goldenPath, len(got.Circuits))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden table (%v) — run `go test ./internal/exp -run Golden -update` to record one", err)
+	}
+	var want goldenTable
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden table: %v", err)
+	}
+	if got.Table != want.Table {
+		t.Fatalf("golden table is for table %d, this test runs table %d", want.Table, got.Table)
+	}
+
+	var diffs []string
+	names := make([]string, 0, len(want.Circuits))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for name := range want.Circuits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := want.Circuits[name]
+		g, ok := got.Circuits[name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("  %-10s MISSING from this run", name))
+			continue
+		}
+		cols := make([]string, 0, len(w))
+		//bdslint:ignore maporder keys collected then sorted before use
+		for col := range w {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			if g[col] != w[col] {
+				diffs = append(diffs, fmt.Sprintf("  %-10s %-7s golden %5d, got %5d (%+d)",
+					name, col, w[col], g[col], g[col]-w[col]))
+			}
+		}
+	}
+	//bdslint:ignore maporder keys tested for membership only; report order fixed by sort below
+	for name := range got.Circuits {
+		if _, ok := want.Circuits[name]; !ok {
+			diffs = append(diffs, fmt.Sprintf("  %-10s NEW circuit not in golden table", name))
+		}
+	}
+	sort.Strings(diffs)
+	if len(diffs) > 0 {
+		t.Errorf("factored-literal counts drifted from testdata/golden/experiments.json "+
+			"(re-record intended changes with -update):\n%s", strings.Join(diffs, "\n"))
+	}
+}

@@ -82,7 +82,10 @@ func (nw *Network) Check() error {
 	if err := nw.checkAcyclic(); err != nil {
 		return err
 	}
-	return nw.checkSigs()
+	if err := nw.checkSigs(); err != nil {
+		return err
+	}
+	return nw.checkCones()
 }
 
 // checkNode audits one node's fanin list and cover canonicity.
@@ -229,6 +232,50 @@ func (nw *Network) checkSigs() error {
 		if got != want {
 			return fmt.Errorf("network %q: stale signature for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, name, got, want)
 		}
+	}
+	return nil
+}
+
+// checkCones audits the cone-hash table against the structure, mirroring
+// checkSigs: when the table is clean, every live node must carry a stored
+// hash equal to a fresh recomputation over its fanins' stored hashes, no
+// removed node may linger, and the whole-network digest must refold to the
+// stored value. A mismatch means an edit path forgot to mark its target
+// dirty — the class of bug that would let the trial memoization cache
+// replay a verdict against a cone that has since changed. While dirty marks
+// are pending, stored hashes are stale by design.
+func (nw *Network) checkCones() error {
+	t := nw.cones
+	if t == nil {
+		return nil
+	}
+	if t.allDirty || len(t.dirty) > 0 {
+		return nil
+	}
+	names := make([]string, 0, len(t.h))
+	//bdslint:ignore maporder keys collected then sorted before use
+	for name := range t.h {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if nw.nodes[name] == nil {
+			return fmt.Errorf("network %q: cone table holds removed node %q", nw.Name, name)
+		}
+	}
+	for _, name := range nw.TopoOrder() {
+		got, ok := t.h[name]
+		if !ok {
+			return fmt.Errorf("network %q: cone table missing node %q while clean", nw.Name, name)
+		}
+		if want := t.compute(nw.nodes[name]); got != want {
+			return fmt.Errorf("network %q: stale cone hash for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, name, got, want)
+		}
+	}
+	net := t.net
+	t.refoldNet()
+	if t.net != net {
+		return fmt.Errorf("network %q: stale whole-network cone digest: stored %x, refolded %x", nw.Name, net, t.net)
 	}
 	return nil
 }

@@ -75,6 +75,9 @@ func (nw *Network) Compose(outer, inner string) bool {
 	if nw.sigs != nil {
 		nw.sigs.markDirty(outer)
 	}
+	if nw.cones != nil {
+		nw.cones.markDirty(outer)
+	}
 	return true
 }
 
@@ -254,6 +257,9 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 	nw.NormalizeNode(name)
 	if nw.sigs != nil {
 		nw.sigs.markDirty(name)
+	}
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
 	}
 	return true
 }

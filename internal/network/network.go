@@ -45,8 +45,9 @@ type Network struct {
 	pis   []string
 	pos   []string
 	nodes map[string]*Node
-	order []string  // node creation order, for deterministic iteration
-	sigs  *SigTable // simulation signatures (nil unless EnableSigs), see sig.go
+	order []string   // node creation order, for deterministic iteration
+	sigs  *SigTable  // simulation signatures (nil unless EnableSigs), see sig.go
+	cones *ConeTable // structural cone hashes (nil unless EnableCones), see conehash.go
 }
 
 // New creates an empty network.
@@ -87,6 +88,9 @@ func (nw *Network) AddNode(name string, fanins []string, cover cube.Cover) *Node
 	nw.order = append(nw.order, name)
 	if nw.sigs != nil {
 		nw.sigs.markDirty(name)
+	}
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
 	}
 	return n
 }
@@ -133,11 +137,14 @@ func (nw *Network) RemoveNode(name string) {
 	if nw.sigs != nil {
 		nw.sigs.markDirty(name)
 	}
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
+	}
 }
 
-// Clone deep-copies the network. The signature table (EnableSigs) is NOT
-// carried over: clones are speculative scratch copies and must not pay for
-// signature maintenance.
+// Clone deep-copies the network. The signature and cone-hash tables
+// (EnableSigs/EnableCones) are NOT carried over: clones are speculative
+// scratch copies and must not pay for table maintenance.
 func (nw *Network) Clone() *Network {
 	c := New(nw.Name)
 	c.pis = append([]string(nil), nw.pis...)
@@ -162,6 +169,9 @@ func (nw *Network) CopyFrom(o *Network) {
 	if nw.sigs != nil {
 		// A whole-network rewrite: every signature is suspect.
 		nw.sigs.markAllDirty()
+	}
+	if nw.cones != nil {
+		nw.cones.markAllDirty()
 	}
 }
 
@@ -373,6 +383,9 @@ func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.
 	if nw.sigs != nil {
 		nw.sigs.markDirty(name)
 	}
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
+	}
 	return nil
 }
 
@@ -403,9 +416,16 @@ func (nw *Network) NormalizeNode(name string) {
 	}
 	n.Fanins = newFanins
 	n.Cover = nc
+	// Semantically invisible (the function is unchanged, so signatures stay
+	// valid) but structurally visible: the cone hash covers the fanin list
+	// and cover bytes.
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
+	}
 }
 
-// freshName generates an unused signal name with the given prefix.
+// FreshName generates an unused signal name with the given prefix. It is a
+// pure probe (nothing is reserved), so it is part of the Reader surface.
 func (nw *Network) FreshName(prefix string) string {
 	for i := 0; ; i++ {
 		name := fmt.Sprintf("%s%d", prefix, i)

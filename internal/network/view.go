@@ -45,8 +45,15 @@ type Reader interface {
 	// signatures are not enabled. Between the owner's serial Refresh calls
 	// the table's read methods are pure, so concurrent planners may share it.
 	Sigs() *SigTable
+	// Cones returns the network's structural cone-hash table, or nil when
+	// cone hashing is not enabled. Like Sigs, pure reads between the owner's
+	// serial Refresh calls.
+	Cones() *ConeTable
+	// FreshName returns an unused signal name with the given prefix — a pure
+	// probe against the current name space (it reserves nothing).
+	FreshName(prefix string) string
 	// Clone deep-copies the network into a private mutable copy (without the
-	// signature table — see Network.Clone).
+	// signature and cone-hash tables — see Network.Clone).
 	Clone() *Network
 }
 
