@@ -583,6 +583,7 @@ func BenchmarkSubstituteParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		name := map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				total, trials, hits := 0, 0, 0
 				for _, base := range prepared {
@@ -599,6 +600,43 @@ func BenchmarkSubstituteParallel(b *testing.B) {
 				if trials > 0 {
 					b.ReportMetric(100*float64(hits)/float64(trials), "hit%")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstituteOverlay measures the copy-on-write trial path: with
+// overlays on (the default), every division trial runs on an O(delta)
+// overlay of the network and RAR passes patch a memoized base netlist
+// instead of rebuilding; off (Options.NoOverlay) is the historical
+// clone-and-rebuild engine. The committed networks are bit-identical either
+// way (TestSubstituteOverlayInvariant); allocs/op and B/op are the headline
+// metrics here, lits confirms results did not move.
+func BenchmarkSubstituteOverlay(b *testing.B) {
+	circuits := []string{"rnd_d", "rnd_e", "csel8", "mult3", "pla_c"}
+	prepared := make([]*network.Network, len(circuits))
+	for i, name := range circuits {
+		nw := bench.Get(name)
+		script.A(nw)
+		prepared[i] = nw
+	}
+	for _, mode := range []struct {
+		name      string
+		noOverlay bool
+	}{{"off", true}, {"on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, base := range prepared {
+					nw := base.Clone()
+					core.Substitute(nw, core.Options{
+						Config: core.Extended, POS: true, Pool: true,
+						NoOverlay: mode.noOverlay,
+					})
+					total += nw.FactoredLits()
+				}
+				b.ReportMetric(float64(total), "lits")
 			}
 		})
 	}
@@ -624,6 +662,7 @@ func BenchmarkSubstituteTrialCache(b *testing.B) {
 		noCache bool
 	}{{"off", true}, {"on", false}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				total, trials, hits := 0, 0, 0
 				for _, base := range prepared {
@@ -665,6 +704,7 @@ func BenchmarkSubstituteSigFilter(b *testing.B) {
 		noFilter bool
 	}{{"off", true}, {"on", false}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				total, trials, rejected, fpass := 0, 0, 0, 0
 				for _, base := range prepared {

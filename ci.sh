@@ -29,11 +29,15 @@ go test -run '^$' -fuzz '^FuzzParse$' -fuzztime=5s ./internal/blif
 go test -run '^$' -fuzz '^FuzzParseNoSemanticsCrash$' -fuzztime=5s ./internal/blif
 go test -run '^$' -fuzz '^FuzzCoverOps$' -fuzztime=5s ./internal/cube
 go test -run '^$' -fuzz '^FuzzConeHashOrderInvariance$' -fuzztime=5s ./internal/network
+go test -run '^$' -fuzz '^FuzzOverlayReadEquivalence$' -fuzztime=5s ./internal/network
 
 # Bench regression (warn-only — single-shot CI timings are noisy, so this
 # prints warnings instead of failing; re-record the committed baseline with
 # the same pipeline minus the compare when a perf change is intended).
+# -benchmem adds allocs/op and B/op, which benchreg compares with tighter
+# thresholds than ns/op: allocation counts are near-deterministic here, so
+# drift means the engine's allocation behavior actually changed.
 go build -o /tmp/benchreg.ci ./cmd/benchreg
-go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$' -benchtime 1x . \
+go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$' -benchtime 1x -benchmem . \
   | /tmp/benchreg.ci -emit /tmp/BENCH_substitute.json
 /tmp/benchreg.ci -compare testdata/bench/BENCH_substitute.json /tmp/BENCH_substitute.json

@@ -39,8 +39,14 @@ func main() {
 	redund := flag.Bool("redund", false, "finish with whole-network redundancy removal")
 	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	noCache := flag.Bool("nocache", false, "disable the trial memoization cache (identical results, every trial runs for real)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdsopt:", err)
+		os.Exit(1)
+	}
+	defer prof.StopAndReport("bdsopt", os.Stderr)
 
 	nw, err := load(*benchName, flag.Arg(0))
 	if err != nil {

@@ -14,10 +14,14 @@
 //
 //	benchreg -compare testdata/bench/BENCH_substitute.json BENCH_substitute.json
 //
-// Non-timing metrics (lits, trials, hit%) are carried in the snapshot so a
-// reviewer can see whether a timing shift came with a behavior shift
-// (results moving would also trip the golden-table test), but only ns/op is
-// compared.
+// With `-benchmem` output, allocs/op and B/op are captured into dedicated
+// snapshot fields and compared with their own (tighter) drift thresholds:
+// allocation counts are deterministic for this engine, so they regress only
+// when the code's allocation behavior actually changed, and a much smaller
+// threshold than the timing one is appropriate. Other non-timing metrics
+// (lits, trials, hit%) are carried in the snapshot so a reviewer can see
+// whether a timing shift came with a behavior shift (results moving would
+// also trip the golden-table test), but are not compared.
 package main
 
 import (
@@ -40,14 +44,18 @@ type snapshot struct {
 }
 
 type measure struct {
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
 	emit := flag.String("emit", "", "parse `go test -bench` output on stdin and write a JSON snapshot to this file")
-	compare := flag.Bool("compare", false, "compare two snapshots (args: baseline current); warn on ns/op regressions")
-	threshold := flag.Float64("threshold", 15, "regression warning threshold in percent (with -compare)")
+	compare := flag.Bool("compare", false, "compare two snapshots (args: baseline current); warn on regressions")
+	threshold := flag.Float64("threshold", 15, "ns/op regression warning threshold in percent (with -compare)")
+	allocThreshold := flag.Float64("allocthreshold", 5, "allocs/op regression warning threshold in percent (with -compare)")
+	byteThreshold := flag.Float64("bytethreshold", 10, "B/op regression warning threshold in percent (with -compare)")
 	flag.Parse()
 
 	switch {
@@ -61,7 +69,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreg: -compare needs exactly two args: baseline.json current.json")
 			os.Exit(2)
 		}
-		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		th := thresholds{ns: *threshold, allocs: *allocThreshold, bytes: *byteThreshold}
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), th); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
 			os.Exit(1)
 		}
@@ -117,10 +126,15 @@ func parseBench(r io.Reader) (snapshot, error) {
 			if err != nil {
 				break
 			}
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				m.NsPerOp = v
 				ok = true
-			} else {
+			case "allocs/op":
+				m.AllocsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			default:
 				m.Metrics[fields[i+1]] = v
 			}
 		}
@@ -146,7 +160,12 @@ func load(path string) (snapshot, error) {
 	return s, nil
 }
 
-func runCompare(w io.Writer, basePath, curPath string, threshold float64) error {
+// thresholds holds the per-dimension regression warning thresholds (percent).
+type thresholds struct {
+	ns, allocs, bytes float64
+}
+
+func runCompare(w io.Writer, basePath, curPath string, th thresholds) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -170,21 +189,30 @@ func runCompare(w io.Writer, basePath, curPath string, threshold float64) error 
 			warned++
 			continue
 		}
-		if b.NsPerOp <= 0 {
-			continue
-		}
-		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
-		if delta > threshold {
-			fmt.Fprintf(w, "benchreg: WARNING: %s regressed %.1f%% (baseline %.0f ns/op, now %.0f ns/op; threshold %.0f%%)\n",
-				name, delta, b.NsPerOp, c.NsPerOp, threshold)
-			warned++
-		} else {
-			fmt.Fprintf(w, "benchreg: %-30s %+.1f%% (baseline %.0f ns/op, now %.0f ns/op)\n",
-				name, delta, b.NsPerOp, c.NsPerOp)
-		}
+		warned += compareDim(w, name, "ns/op", b.NsPerOp, c.NsPerOp, th.ns)
+		warned += compareDim(w, name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, th.allocs)
+		warned += compareDim(w, name, "B/op", b.BytesPerOp, c.BytesPerOp, th.bytes)
 	}
 	if warned > 0 {
 		fmt.Fprintf(w, "benchreg: %d warning(s) — investigate before committing, or re-record the baseline\n", warned)
 	}
 	return nil
+}
+
+// compareDim reports one benchmark dimension, returning 1 if it warned. A
+// dimension absent from the baseline (zero) is skipped — old snapshots that
+// predate -benchmem stay comparable on ns/op alone.
+func compareDim(w io.Writer, name, unit string, base, cur, threshold float64) int {
+	if base <= 0 {
+		return 0
+	}
+	delta := 100 * (cur - base) / base
+	if delta > threshold {
+		fmt.Fprintf(w, "benchreg: WARNING: %s regressed %.1f%% (baseline %.0f %s, now %.0f %s; threshold %.0f%%)\n",
+			name, delta, base, unit, cur, unit, threshold)
+		return 1
+	}
+	fmt.Fprintf(w, "benchreg: %-30s %+.1f%% (baseline %.0f %s, now %.0f %s)\n",
+		name, delta, base, unit, cur, unit)
+	return 0
 }

@@ -43,12 +43,18 @@ func main() {
 	noSigFilter := flag.Bool("nosigfilter", false, "disable the simulation-signature divisor prefilter (identical results, more trials)")
 	noCache := flag.Bool("nocache", false, "disable the trial memoization cache (identical results, every trial runs for real)")
 	passes := flag.Int("passes", 1, "run each table N times sharing one trial cache across passes (identical results every pass; -v shows per-pass hit rates)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 	if *passes < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -passes must be >= 1")
 		os.Exit(2)
 	}
 	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer prof.StopAndReport("experiments", os.Stderr)
 
 	if *list {
 		for _, n := range bench.Names() {

@@ -50,8 +50,14 @@ func main() {
 	cmds := flag.String("c", "", "semicolon-separated commands to run non-interactively")
 	workers := flag.Int("j", 0, "substitution planner workers (0 = GOMAXPROCS); results identical at any value")
 	noCache := flag.Bool("nocache", false, "disable the trial memoization cache (identical results, every trial runs for real)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 	*workers = cliutil.ClampWorkers(*workers, os.Stderr)
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "lshell:", err)
+		os.Exit(1)
+	}
+	defer prof.StopAndReport("lshell", os.Stderr)
 
 	sh := &shell{out: os.Stdout, workers: *workers, noCache: *noCache}
 	sh.errf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "lshell: "+format+"\n", args...) }

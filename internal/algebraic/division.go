@@ -6,8 +6,6 @@
 package algebraic
 
 import (
-	"sort"
-
 	"repro/internal/cube"
 )
 
@@ -75,11 +73,7 @@ func divideCube(c, dk cube.Cube) (cube.Cube, bool) {
 	if !dk.Contains(c) {
 		return cube.Cube{}, false
 	}
-	out := c.Clone()
-	for _, v := range dk.Lits() {
-		out.Set(v, cube.Free)
-	}
-	return out, true
+	return c.FreeLitsOf(dk), true
 }
 
 // DivideByLiteral divides f by a single literal (var v with phase p),
@@ -113,11 +107,7 @@ func CommonCube(f cube.Cover) cube.Cube {
 	}
 	common := f.Cubes[0].Clone()
 	for _, c := range f.Cubes[1:] {
-		for _, v := range common.Lits() {
-			if c.Get(v) != common.Get(v) {
-				common.Set(v, cube.Free)
-			}
-		}
+		common.UnionWith(c) // phases that disagree widen to Free
 	}
 	return common
 }
@@ -169,33 +159,21 @@ type literal struct {
 }
 
 func literalUniverse(f cube.Cover) []literal {
-	type cnt struct{ pos, neg int }
-	m := make(map[int]*cnt)
-	for _, c := range f.Cubes {
-		for _, v := range c.Lits() {
-			e := m[v]
-			if e == nil {
-				e = &cnt{}
-				m[v] = e
-			}
-			if c.Get(v) == cube.Pos {
-				e.pos++
-			} else {
-				e.neg++
+	var out []literal
+	for v := 0; v < f.NumVars(); v++ {
+		pos, neg := 0, 0
+		for _, c := range f.Cubes {
+			switch c.Get(v) {
+			case cube.Pos:
+				pos++
+			case cube.Neg:
+				neg++
 			}
 		}
-	}
-	vars := make([]int, 0, len(m))
-	for v := range m {
-		vars = append(vars, v)
-	}
-	sort.Ints(vars)
-	var out []literal
-	for _, v := range vars {
-		if m[v].neg > 0 {
+		if neg > 0 {
 			out = append(out, literal{v, cube.Neg})
 		}
-		if m[v].pos > 0 {
+		if pos > 0 {
 			out = append(out, literal{v, cube.Pos})
 		}
 	}
@@ -266,17 +244,26 @@ func Level0Kernel(f cube.Cover) (cube.Cover, bool) {
 // repeatedLiteral returns a literal appearing in at least two cubes,
 // preferring the most frequent one.
 func repeatedLiteral(f cube.Cover) (literal, bool) {
+	// Same scan order as counting over literalUniverse (variables ascending,
+	// Neg before Pos) with strict improvement, so the same literal wins —
+	// without materializing the universe.
 	best := literal{}
 	bestN := 1
-	for _, l := range literalUniverse(f) {
-		n := 0
+	for v := 0; v < f.NumVars(); v++ {
+		pos, neg := 0, 0
 		for _, c := range f.Cubes {
-			if c.Get(l.v) == l.p {
-				n++
+			switch c.Get(v) {
+			case cube.Pos:
+				pos++
+			case cube.Neg:
+				neg++
 			}
 		}
-		if n > bestN {
-			best, bestN = l, n
+		if neg > bestN {
+			best, bestN = literal{v, cube.Neg}, neg
+		}
+		if pos > bestN {
+			best, bestN = literal{v, cube.Pos}, pos
 		}
 	}
 	return best, bestN >= 2

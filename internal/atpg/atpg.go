@@ -59,6 +59,13 @@ type Engine struct {
 	queue []int
 	inQ   []bool
 	opt   Options
+	// TFO marking scratch (see markTFO): tfoStamp[g] == tfoGen marks g as
+	// inside the current fault's transitive fanout. Bumping tfoGen
+	// invalidates the whole marking in O(1), so per-fault TFO sets need no
+	// allocation.
+	tfoStamp []uint32
+	tfoGen   uint32
+	tfoStack []int
 }
 
 // NewEngine builds an engine for nl.
@@ -76,8 +83,25 @@ func NewEngine(nl *netlist.Netlist, opt Options) *Engine {
 // arena analogue of NewEngine: a worker that rebuilds a fresh netlist for
 // every division trial keeps one Engine and Rebinds it instead of
 // reallocating. The rebound engine starts fully cleared.
+//
+// Rebinding to the netlist the engine is already bound to — the patched-
+// netlist trial path, where gates were appended or the arena rolled back
+// between faults — takes a fast path proportional to the previous
+// assignment set plus the gate-count delta, not the netlist size. The
+// arrays never shrink there: a rolled-back arena can regrow under different
+// ids, and Reset's invariant (everything outside the trail is Unknown)
+// already keeps the tail slots clean.
 func (e *Engine) Rebind(nl *netlist.Netlist, opt Options) {
 	n := nl.NumGates()
+	if nl == e.nl {
+		for len(e.val) < n {
+			e.val = append(e.val, Unknown)
+			e.inQ = append(e.inQ, false)
+		}
+		e.opt = opt
+		e.Reset()
+		return
+	}
 	e.nl = nl
 	e.opt = opt
 	if cap(e.val) < n {
@@ -95,20 +119,58 @@ func (e *Engine) Rebind(nl *netlist.Netlist, opt Options) {
 	e.queue = e.queue[:0]
 }
 
-// Reset clears all assignments.
+// Reset clears all assignments. It is proportional to the trail and pending
+// queue, not the netlist: inQ[g] is true exactly for the gates currently in
+// the queue (enqueue sets both together, the propagation loops clear both
+// together), so draining the queue restores inQ without a full sweep.
 func (e *Engine) Reset() {
 	for _, g := range e.trail {
 		e.val[g] = Unknown
 	}
 	e.trail = e.trail[:0]
-	e.queue = e.queue[:0]
-	for i := range e.inQ {
-		e.inQ[i] = false
+	for _, g := range e.queue {
+		e.inQ[g] = false
 	}
+	e.queue = e.queue[:0]
 }
 
 // Val returns the current value of gate g.
 func (e *Engine) Val(g int) Value { return e.val[g] }
+
+// markTFO marks the transitive fanout of gate g (including g) in the
+// engine's stamp array, invalidating any previous marking. Membership is
+// then queried with inTFO. This replaces a per-fault map allocation on the
+// mandatory-assignment hot path.
+func (e *Engine) markTFO(g int) {
+	if n := e.nl.NumGates(); len(e.tfoStamp) < n {
+		e.tfoStamp = append(e.tfoStamp, make([]uint32, n-len(e.tfoStamp))...)
+	}
+	e.tfoGen++
+	if e.tfoGen == 0 {
+		// Generation wrapped: stale stamps could alias, so clear once.
+		clear(e.tfoStamp)
+		e.tfoGen = 1
+	}
+	gen := e.tfoGen
+	e.tfoStamp[g] = gen
+	stack := append(e.tfoStack[:0], g)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range e.nl.Fanouts(x) {
+			if e.tfoStamp[fo] != gen {
+				e.tfoStamp[fo] = gen
+				stack = append(stack, fo)
+			}
+		}
+	}
+	e.tfoStack = stack
+}
+
+// inTFO reports whether gate g was marked by the last markTFO call.
+func (e *Engine) inTFO(g int) bool {
+	return g < len(e.tfoStamp) && e.tfoStamp[g] == e.tfoGen
+}
 
 // inScope reports whether implications may be derived at gate g.
 func (e *Engine) inScope(g int) bool {

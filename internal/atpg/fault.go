@@ -33,28 +33,38 @@ func MandatoryAssignments(e *Engine, nl *netlist.Netlist, f Fault, stopAfter int
 	if !e.Assign(src, 1-f.Stuck) {
 		return false
 	}
-	tfo := nl.TFO(f.Wire.Gate)
+	e.markTFO(f.Wire.Gate)
 	// Side inputs of the faulted gate itself.
-	if !assignSides(e, nl, f.Wire.Gate, src, tfo) {
+	if !assignSides(e, nl, f.Wire.Gate, src) {
 		return false
 	}
+	// Walk the dominator chain inline (same termination rules as
+	// nl.Dominators: stop at multi-fanout stems and at POs) instead of
+	// materializing the chain — stopAfter is usually 0 or 1.
 	prev := f.Wire.Gate
-	for i, d := range nl.Dominators(f.Wire.Gate) {
-		if stopAfter >= 0 && i >= stopAfter {
+	cur := f.Wire.Gate
+	for i := 0; stopAfter < 0 || i < stopAfter; i++ {
+		if nl.IsPO(cur) {
 			break
 		}
-		if !assignSides(e, nl, d, prev, tfo) {
+		fo := nl.Fanouts(cur)
+		if len(fo) != 1 {
+			break
+		}
+		cur = fo[0]
+		if !assignSides(e, nl, cur, prev) {
 			return false
 		}
-		prev = d
+		prev = cur
 	}
 	return true
 }
 
 // assignSides puts non-controlling values on g's inputs other than `through`,
-// skipping inputs inside the fault's TFO (their good value may differ from
-// their faulty value, so no good-circuit requirement is sound for them).
-func assignSides(e *Engine, nl *netlist.Netlist, g, through int, tfo map[int]bool) bool {
+// skipping inputs inside the fault's TFO — marked by the caller's markTFO —
+// (their good value may differ from their faulty value, so no good-circuit
+// requirement is sound for them).
+func assignSides(e *Engine, nl *netlist.Netlist, g, through int) bool {
 	var nonctrl Value
 	switch nl.KindOf(g) {
 	case netlist.And:
@@ -65,7 +75,7 @@ func assignSides(e *Engine, nl *netlist.Netlist, g, through int, tfo map[int]boo
 		return true // NOT/Input: no side inputs
 	}
 	for _, f := range nl.Fanins(g) {
-		if f == through || tfo[f] {
+		if f == through || e.inTFO(f) {
 			continue
 		}
 		if !e.Assign(f, nonctrl) {

@@ -1,0 +1,94 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the -cpuprofile/-memprofile flag pair shared by the
+// command-line tools (experiments, bdsopt, lshell), so profiling a run of
+// any of them works the same way:
+//
+//	prof := cliutil.ProfileFlags()
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.StopAndReport("tool", os.Stderr)
+//
+// Start is a no-op when neither flag was given, so wiring the pair up costs
+// nothing on ordinary runs.
+type Profiler struct {
+	cpu, mem *string
+	cpuFile  *os.File
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func ProfileFlags() *Profiler {
+	return &Profiler{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The caller must
+// arrange for Stop (or StopAndReport) to run before the process exits, or
+// the profile file is left truncated.
+func (p *Profiler) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile (when one was started) and writes the heap
+// profile (when -memprofile was given), returning the first error. A GC runs
+// before the heap snapshot so the profile reflects live objects, not
+// not-yet-collected garbage.
+func (p *Profiler) Stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+			return first
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return first
+}
+
+// StopAndReport is Stop for defer sites: any error is reported to w under
+// the tool's name instead of being dropped.
+func (p *Profiler) StopAndReport(tool string, w io.Writer) {
+	if err := p.Stop(); err != nil {
+		fmt.Fprintf(w, "%s: %v\n", tool, err)
+	}
+}

@@ -64,11 +64,13 @@ func basicDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*Divi
 // redundancy removal making it Boolean. maxCompl bounds the divisor
 // complement size (0 = default).
 func BasicDivideCompl(nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
-	return basicDivideCompl(newScratch(), nw, f, d, cfg, maxCompl)
+	return basicDivideCompl(newScratch(), nw, f, d, cfg, maxCompl, nil)
 }
 
 // basicDivideCompl is BasicDivideCompl with an explicit scratch arena.
-func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+// pre, when non-nil, is d's complement carried from candidate enumeration
+// (byte-identical to recomputing it — see candidate).
+func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int, pre *cube.Cover) (*DivideResult, bool) {
 	if maxCompl <= 0 {
 		maxCompl = DefaultMaxComplementCubes
 	}
@@ -82,9 +84,14 @@ func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, m
 	if nw.DependsOn(d, f) {
 		return nil, false
 	}
-	dc := dn.Cover.Complement()
-	if dc.IsZero() || dc.NumCubes() > maxCompl {
-		return nil, false
+	var dc cube.Cover
+	if pre != nil {
+		dc = *pre // already checked non-zero and within bound by complCache
+	} else {
+		dc = dn.Cover.Complement()
+		if dc.IsZero() || dc.NumCubes() > maxCompl {
+			return nil, false
+		}
 	}
 	union := unionSignals(fn.Fanins, dn.Fanins)
 	fU := network.RemapCover(fn.Cover, fn.Fanins, union)
@@ -97,14 +104,15 @@ func basicDivideCompl(sc *scratch, nw network.Reader, f, d string, cfg Config, m
 }
 
 // divideWithParts finishes a division given the SOS split: it installs the
-// tentative structure f = (qPart ∧ y) + rem in a cloned network (with y in
-// the given phase — negative for complement-phase division and for the POS
-// dual, where the caller post-processes the complement), runs RAR
-// redundancy removal in the region, and extracts the result.
+// tentative structure f = (qPart ∧ y) + rem in a working copy of the network
+// (a copy-on-write overlay, or a deep clone under NoOverlay; y in the given
+// phase — negative for complement-phase division and for the POS dual, where
+// the caller post-processes the complement), runs RAR redundancy removal in
+// the region, and extracts the result.
 func divideWithParts(sc *scratch, nw network.Reader, f, d string, union []string, qPart, rem cube.Cover, cfg Config, yPhase cube.Phase, markPOS bool) (*DivideResult, bool) {
 	tentative, space := tentativeCover(union, d, qPart, rem, yPhase)
 
-	work := nw.Clone()
+	work := sc.trialClone(nw)
 	if err := work.ReplaceNodeFunction(f, space, tentative); err != nil {
 		return nil, false
 	}
@@ -176,14 +184,32 @@ func tentativeCover(union []string, d string, qPart, rem cube.Cover, yPhase cube
 	return tentative, space
 }
 
-// runRegionRAR rebuilds the netlist for the working network and removes
-// redundant wires inside node f's region: literal pins of f's cubes
-// (stuck-at-1) and cube pins at the node's OR (stuck-at-0). Pins carrying
-// the divisor literal are never tested — they realize the added redundancy
-// and define the division form. Removals are extracted back into the node's
-// SOP after every pass (a removal can enable further removals). Returns the
-// number of wires removed.
-func runRegionRAR(sc *scratch, work *network.Network, f, d string, cfg Config) int {
+// runRegionRAR removes redundant wires inside node f's region: literal pins
+// of f's cubes (stuck-at-1) and cube pins at the node's OR (stuck-at-0).
+// Pins carrying the divisor literal are never tested — they realize the
+// added redundancy and define the division form. Removals are extracted back
+// into the node's SOP after every pass (a removal can enable further
+// removals). Returns the number of wires removed.
+//
+// Overlay trials with region-local implications take the patched path: the
+// base network's netlist is built once (memoized across a whole wave of
+// trials for the live network) and only f's two-level structure is patched
+// in and rolled back per pass. GDC trials always rebuild: their capped
+// learning pass scans gates in id order, so they must see exactly the gate
+// numbering a fresh build of the working network produces. Both paths run
+// identical implications — the patched netlist differs from a fresh build
+// only by orphaned cube gates with no live fanout, which region scopes,
+// dominator walks, and TFO marks never reach.
+func runRegionRAR(sc *scratch, work trialNet, f, d string, cfg Config) int {
+	if ov, ok := work.(*network.Overlay); ok && cfg != ExtendedGDC {
+		return regionRARPatched(sc, ov, f, d)
+	}
+	return regionRARRebuild(sc, work, f, d, cfg)
+}
+
+// regionRARRebuild is the rebuild-per-pass RAR loop (the historical path):
+// NoOverlay clones and GDC trials.
+func regionRARRebuild(sc *scratch, work trialNet, f, d string, cfg Config) int {
 	removed := 0
 	for pass := 0; pass < 8; pass++ {
 		b := sc.b.Build(work)
@@ -200,52 +226,94 @@ func runRegionRAR(sc *scratch, work *network.Network, f, d string, cfg Config) i
 		}
 		e := sc.engine(nl, opt)
 
-		// Divisor literal gates to protect (positive and, for POS, the
-		// cached inverter).
-		yGate, yOK := nl.Signal[d]
-		yInv := -1
-		if yOK {
-			for _, fo := range nl.Fanouts(yGate) {
-				if nl.KindOf(fo) == netlist.Not && nl.Fanins(fo)[0] == yGate {
-					yInv = fo
-					break
-				}
-			}
-		}
-		protected := func(src int) bool { return yOK && (src == yGate || src == yInv) }
-
-		fn := work.Node(f)
-		changed := false
-		for _, g := range ng.Cubes {
-			for pin := len(nl.Fanins(g)) - 1; pin >= 0; pin-- {
-				if protected(nl.Fanins(g)[pin]) {
-					continue
-				}
-				if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: g, Pin: pin}, atpg.One, stopAfter) {
-					removed++
-					changed = true
-				}
-			}
-		}
-		// Cube pins at the node OR (whole-cube removal).
-		for pin := len(nl.Fanins(ng.Out)) - 1; pin >= 0; pin-- {
-			if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: ng.Out, Pin: pin}, atpg.Zero, stopAfter) {
-				removed++
-				changed = true
-			}
-		}
+		changed, n := rarPass(e, nl, b, ng, d, stopAfter)
+		removed += n
 		if !changed {
 			return removed
 		}
-		fn.Cover = extractNode(nl, b, work, f)
+		work.SetNodeCover(f, extractNode(nl, b, work.Node(f), f))
 	}
 	return removed
 }
 
+// regionRARPatched is the copy-on-write RAR loop: one base build, patched
+// with f's tentative structure per pass and rolled back byte-exactly
+// in between. Only region-local (stopAfter=1, scoped) implications run
+// here — see runRegionRAR.
+func regionRARPatched(sc *scratch, work *network.Overlay, f, d string) int {
+	b := sc.baseBuild(work.Base())
+	nl := b.NL
+	oldNG := b.Nodes[f]
+	nl.BeginTx()
+	defer func() {
+		nl.EndTx()
+		b.Nodes[f] = oldNG
+	}()
+	removed := 0
+	for pass := 0; pass < 8; pass++ {
+		if pass > 0 {
+			nl.RollbackTx()
+		}
+		ng := b.PatchNode(f, work.Node(f))
+		opt := atpg.Options{Scope: localScope(b, nl, f, d)}
+		e := sc.engine(nl, opt)
+
+		changed, n := rarPass(e, nl, b, ng, d, 1)
+		removed += n
+		if !changed {
+			return removed
+		}
+		work.SetNodeCover(f, extractNode(nl, b, work.Node(f), f))
+	}
+	return removed
+}
+
+// rarPass runs one removal sweep over node f's gates (ng): every unprotected
+// cube-literal pin is tested stuck-at-1 and every cube pin at the OR
+// stuck-at-0, removing each pin proved untestable. Returns whether anything
+// was removed this pass and how many wires.
+func rarPass(e *atpg.Engine, nl *netlist.Netlist, b *netlist.Build, ng *netlist.NodeGates, d string, stopAfter int) (bool, int) {
+	// Divisor literal gates to protect (positive and, for POS, the cached
+	// inverter).
+	yGate, yOK := nl.Signal[d]
+	yInv := -1
+	if yOK {
+		for _, fo := range nl.Fanouts(yGate) {
+			if nl.KindOf(fo) == netlist.Not && nl.Fanins(fo)[0] == yGate {
+				yInv = fo
+				break
+			}
+		}
+	}
+	protected := func(src int) bool { return yOK && (src == yGate || src == yInv) }
+
+	removed := 0
+	changed := false
+	for _, g := range ng.Cubes {
+		for pin := len(nl.Fanins(g)) - 1; pin >= 0; pin-- {
+			if protected(nl.Fanins(g)[pin]) {
+				continue
+			}
+			if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: g, Pin: pin}, atpg.One, stopAfter) {
+				removed++
+				changed = true
+			}
+		}
+	}
+	// Cube pins at the node OR (whole-cube removal).
+	for pin := len(nl.Fanins(ng.Out)) - 1; pin >= 0; pin-- {
+		if atpg.RemoveIfUntestable(e, nl, atpg.Wire{Gate: ng.Out, Pin: pin}, atpg.Zero, stopAfter) {
+			removed++
+			changed = true
+		}
+	}
+	return changed, removed
+}
+
 // extractNode reads node f's two-level structure back out of the (mutated)
-// netlist into a cover over the node's current fanins.
-func extractNode(nl *netlist.Netlist, b *netlist.Build, work *network.Network, f string) cube.Cover {
-	fn := work.Node(f)
+// netlist into a cover over the node's current fanins (fn is the working
+// copy's node).
+func extractNode(nl *netlist.Netlist, b *netlist.Build, fn *network.Node, f string) cube.Cover {
 	ng := b.Nodes[f]
 	n := len(fn.Fanins)
 	// Map literal gates back to (var, phase).

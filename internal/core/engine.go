@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -55,11 +56,13 @@ type plan struct {
 	newFanins []string
 	newCover  cube.Cover
 
-	// Whole-network rewrite: commit copies work over the live network and
-	// invalidates the touched node names in the pass caches. core names the
-	// node extended division added when it decomposed the divisor ("" when
-	// none) — the trial cache stores work plans as {f, d, core} deltas.
-	work    *network.Network
+	// Whole-network rewrite: commit applies work to the live network —
+	// extracting the delta when work is an overlay, copying wholesale when it
+	// is a deep clone — and invalidates the touched node names in the pass
+	// caches. core names the node extended division added when it decomposed
+	// the divisor ("" when none) — the trial cache stores work plans as
+	// {f, d, core} deltas.
+	work    trialNet
 	touched []string
 	core    string
 }
@@ -71,10 +74,53 @@ func (p *plan) isNode() bool { return p.work == nil }
 // against a read-only view of the network, without committing anything.
 // ok=false when no division exists. planPair is pure: it is safe to call
 // concurrently on the same Reader as long as each call owns its scratch.
+//
+// planPair pins nw as the scratch's live reader — enabling the memoized
+// shared base build every overlay trial of the wave patches — and, under
+// Options.Audit, re-runs the whole trial on the historical deep-clone path
+// and panics unless the two plans agree byte-for-byte.
 func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Options) (plan, bool) {
+	sc.noOverlay = opt.NoOverlay
+	sc.pin = nw
+	p, ok := planPairImpl(sc, nw, f, cand, opt)
+	if opt.Audit && !opt.NoOverlay {
+		auditOverlayTrial(sc, p, ok, fmt.Sprintf("f=%s d=%s", f, cand.name), func(aopt Options) (plan, bool) {
+			return planPairImpl(sc, nw, f, cand, aopt)
+		}, opt)
+	}
+	return p, ok
+}
+
+// overlayAuditCorrupt, when set (tests only), mutates the overlay-path plan
+// before the audit comparison — the corruption-injection seam proving the
+// Audit cross-check actually fires on a divergent trial.
+var overlayAuditCorrupt func(*plan)
+
+// auditOverlayTrial re-runs a trial with overlays disabled (the historical
+// deep-clone engine) and panics unless the overlay-path plan matches the
+// clone-path plan byte-for-byte. O(trial) — Options.Audit is a
+// testing/debugging mode.
+func auditOverlayTrial(sc *scratch, got plan, gotOK bool, site string, run func(Options) (plan, bool), opt Options) {
+	aopt := opt
+	aopt.NoOverlay = true
+	aopt.Audit = false
+	sc.noOverlay = true
+	want, wantOK := run(aopt)
+	sc.noOverlay = opt.NoOverlay
+	if overlayAuditCorrupt != nil {
+		overlayAuditCorrupt(&got)
+	}
+	if err := comparePlans(got, gotOK, want, wantOK); err != nil {
+		panic(fmt.Sprintf("core: overlay audit: %s: %v", site, err))
+	}
+}
+
+// planPairImpl is planPair's trial body; sc.noOverlay/sc.pin are set by the
+// wrapper.
+func planPairImpl(sc *scratch, nw network.Reader, f string, cand candidate, opt Options) (plan, bool) {
 	d := cand.name
 	fn := nw.Node(f)
-	costBefore := algebraic.FactorLits(fn.Cover)
+	costBefore := sc.factorLits(f, fn.Cover)
 	// Windowed division: bound the sub-network the division sees.
 	nwd := nw
 	if opt.WindowDepth > 0 {
@@ -94,14 +140,14 @@ func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Opti
 	}
 
 	if cand.neg {
-		res, ok := basicDivideCompl(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		res, ok := basicDivideCompl(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes, cand.dCompl)
 		if !ok {
 			return plan{}, false
 		}
 		return nodePlan(res, false), true
 	}
 	if cand.pos {
-		res, ok := posDivide(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes)
+		res, ok := posDivide(sc, nwd, f, d, opt.Config, opt.MaxComplementCubes, cand.fComplMin, cand.dComplMin)
 		if !ok {
 			return plan{}, false
 		}
@@ -118,13 +164,13 @@ func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Opti
 
 	default: // Extended / ExtendedGDC
 		dn := nw.Node(d)
-		before := costBefore + algebraic.FactorLits(dn.Cover)
+		before := costBefore + sc.factorLits(d, dn.Cover)
 
 		// Extended division generalizes basic division; evaluate both and
 		// keep the better (the core-selection heuristic can otherwise pick
 		// a decomposition where the whole divisor would gain more).
 		extGain := -1 << 30
-		var extWork *network.Network
+		var extWork trialNet
 		var extRes *DivideResult
 		var extDec *Decomposition
 		if work, res, dec, ok := extendedDivide(sc, nw, f, d, opt.Config); ok {
@@ -169,8 +215,22 @@ func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Opti
 // planPooled evaluates one multi-node pooled extended division for f using
 // up to four of the SOP candidates as the divisor pool. Like planPair it is
 // pure; ok=false when no pooled division with positive total gain (f plus
-// any created/rewritten nodes) exists.
+// any created/rewritten nodes) exists. Like planPair it pins nw for the
+// shared base build and cross-checks the clone path under Options.Audit.
 func planPooled(sc *scratch, nw network.Reader, f string, cands []candidate, opt Options) (plan, bool) {
+	sc.noOverlay = opt.NoOverlay
+	sc.pin = nw
+	p, ok := planPooledImpl(sc, nw, f, cands, opt)
+	if opt.Audit && !opt.NoOverlay {
+		auditOverlayTrial(sc, p, ok, "pooled f="+f, func(aopt Options) (plan, bool) {
+			return planPooledImpl(sc, nw, f, cands, aopt)
+		}, opt)
+	}
+	return p, ok
+}
+
+// planPooledImpl is planPooled's trial body.
+func planPooledImpl(sc *scratch, nw network.Reader, f string, cands []candidate, opt Options) (plan, bool) {
 	var pool []string
 	seen := map[string]bool{}
 	for _, c := range cands {
@@ -272,7 +332,18 @@ func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *
 		if opt.DepthBudget > 0 {
 			snapshot = nw.Clone()
 		}
-		nw.CopyFrom(p.work)
+		// An overlay plan commits by applying its recorded delta to the live
+		// network — byte-identical to copying a materialized clone, but
+		// O(delta), and only the touched signals go dirty in the sig/cone
+		// tables. A clone plan (NoOverlay, or pooled division's cross-node
+		// path, which needs Sweep) still commits by wholesale copy.
+		if ov, ok := p.work.(*network.Overlay); ok {
+			if err := ov.ApplyTo(nw); err != nil {
+				panic("core: overlay commit: " + err.Error())
+			}
+		} else {
+			nw.CopyFrom(p.work.(*network.Network))
+		}
 		invalidate()
 		if opt.DepthBudget > 0 {
 			if _, depth := nw.Levels(); depth > opt.DepthBudget {
@@ -326,6 +397,13 @@ type planResult struct {
 type evaluator struct {
 	workers   int
 	scratches []*scratch
+	// epoch counts live-network mutation attempts. Each scratch tags its
+	// memoized shared base build with the epoch it was built in (see
+	// scratch.baseBuild), so no base is ever patched after the network it
+	// snapshots may have changed. Even a depth-rejected commit — undone
+	// byte-exactly — bumps it: one redundant rebuild is cheaper than
+	// reasoning about undo fidelity here.
+	epoch uint64
 }
 
 func newEvaluator(workers int) *evaluator {
@@ -350,6 +428,9 @@ func newEvaluator(workers int) *evaluator {
 // (or one surviving candidate) the evaluation is inlined — no goroutines,
 // identical to the historical serial driver including allocation behavior.
 func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options, sf *simSigFilter, tc *TrialCache) []planResult {
+	for _, sc := range ev.scratches {
+		sc.epoch = ev.epoch
+	}
 	res := make([]planResult, len(cands))
 	todo := make([]int, 0, len(cands))
 	var keys []trialKey
@@ -367,7 +448,7 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 		if tc != nil {
 			if k, ok := trialCacheKey(ct, f, c, opt); ok {
 				if e, hit := tc.lookup(k); hit {
-					if p, pOK, usable := e.replay(nw, f, c.name); usable {
+					if p, pOK, usable := e.replay(nw, f, c.name, opt.NoOverlay); usable {
 						if opt.Audit {
 							auditCachedHit(ev.scratches[0], nw, f, c, opt, p, pOK)
 						}
@@ -418,4 +499,12 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 	}
 	wg.Wait()
 	return res
+}
+
+// commit applies a plan through commitPlan, bumping the epoch first so every
+// scratch's memoized base build of the live network is invalidated before
+// the network can change.
+func (ev *evaluator) commit(nw *network.Network, p plan, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
+	ev.epoch++
+	return commitPlan(nw, p, opt, cc, sigs, st)
 }

@@ -46,7 +46,7 @@ func voteTable(sc *scratch, nw network.Reader, f, d string, cfg Config) ([]Vote,
 	if fn == nil || dn == nil || f == d || nw.DependsOn(d, f) {
 		return nil, false
 	}
-	b := sc.b.Build(nw)
+	b := sc.baseBuild(nw)
 	nl := b.NL
 	ngF, ngD := b.Nodes[f], b.Nodes[d]
 
@@ -185,11 +185,18 @@ type Decomposition struct {
 // replaced; d decomposed when needed); the caller decides acceptance by
 // comparing costs. ok=false when no division is possible.
 func ExtendedDivide(nw network.Reader, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
-	return extendedDivide(newScratch(), nw, f, d, cfg)
+	work, res, dec, ok := extendedDivide(newScratch(), nw, f, d, cfg)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	return materializeTrial(work), res, dec, true
 }
 
-// extendedDivide is ExtendedDivide with an explicit scratch arena.
-func extendedDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+// extendedDivide is ExtendedDivide with an explicit scratch arena. The
+// returned working copy is a trialNet (an overlay on the copy-on-write path,
+// a deep clone under NoOverlay); the engine commits it via commitPlan and
+// the public wrapper materializes it.
+func extendedDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (trialNet, *DivideResult, *Decomposition, bool) {
 	fn, dn := nw.Node(f), nw.Node(d)
 	if fn == nil || dn == nil {
 		return nil, nil, nil, false
@@ -215,7 +222,7 @@ func extendedDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*n
 		if !ok {
 			return nil, nil, nil, false
 		}
-		work := nw.Clone()
+		work := sc.trialClone(nw)
 		if err := work.ReplaceNodeFunction(f, res.Fanins, res.Cover); err != nil {
 			return nil, nil, nil, false
 		}
@@ -224,7 +231,7 @@ func extendedDivide(sc *scratch, nw network.Reader, f, d string, cfg Config) (*n
 	}
 
 	// Decompose d = core + rest.
-	work := nw.Clone()
+	work := sc.trialClone(nw)
 	coreName := work.FreshName("bdc")
 	coreCover := cube.NewCover(dn.Cover.NumVars())
 	restCover := cube.NewCover(dn.Cover.NumVars())

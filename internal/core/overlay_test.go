@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/blif"
+	"repro/internal/verify"
+)
+
+// TestPropOverlayMatchesClonePlanForPlan is the overlay trial path's
+// property test: with Options.Audit set, every planned trial is re-run on
+// the historical deep-clone path and the engine panics unless the two plans
+// agree byte-for-byte — so a clean run certifies plan-for-plan equality,
+// not just equal committed results. The committed networks are additionally
+// compared against a NoOverlay run. Runs under -race in ci.sh, so the
+// worker=4 case also proves the audit re-runs are race-clean.
+func TestPropOverlayMatchesClonePlanForPlan(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 4; trial++ {
+		base := randomDAG(r, 4, 7)
+		for _, cfg := range []Config{Basic, Extended, ExtendedGDC} {
+			for _, workers := range []int{1, 4} {
+				opt := Options{Config: cfg, POS: true, Pool: true, Workers: workers}
+
+				on := base.Clone()
+				optAudit := opt
+				optAudit.Audit = true
+				Substitute(on, optAudit) // panics on any plan divergence
+
+				off := base.Clone()
+				optOff := opt
+				optOff.NoOverlay = true
+				Substitute(off, optOff)
+
+				if a, b := blif.ToString(on), blif.ToString(off); a != b {
+					t.Fatalf("trial %d cfg %v workers %d: overlay result diverged from clone result\noverlay:\n%s\nclone:\n%s",
+						trial, cfg, workers, a, b)
+				}
+				if !verify.Equivalent(base, on) {
+					t.Fatalf("trial %d cfg %v workers %d: equivalence broken", trial, cfg, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayAuditDetectsCorruptedPlan proves the Audit cross-check is a
+// live tripwire, not a tautology: a hook corrupts every overlay-path plan
+// before the comparison, and the audit must panic on the first real trial.
+func TestOverlayAuditDetectsCorruptedPlan(t *testing.T) {
+	overlayAuditCorrupt = func(p *plan) { p.gain += 1000 }
+	defer func() { overlayAuditCorrupt = nil }()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Audit accepted a corrupted overlay plan")
+		}
+		if !strings.Contains(fmt.Sprint(r), "overlay audit") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	nw := gainNetwork()
+	// Workers=1 inlines the planners, so the audit panic reaches this
+	// goroutine and the recover above.
+	Substitute(nw, Options{Config: Basic, Workers: 1, Audit: true})
+	t.Fatal("Substitute returned; corrupted plan was never audited")
+}
+
+// TestSubstituteOverlayInvariant is the result-invisibility contract of the
+// copy-on-write trial path: the committed BLIF is byte-identical with
+// overlays on and off, at any worker count.
+func TestSubstituteOverlayInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	workersList := []int{1, 4, runtime.NumCPU()}
+	for trial := 0; trial < 3; trial++ {
+		base := randomDAG(r, 4, 8)
+		want := ""
+		for _, noOverlay := range []bool{false, true} {
+			for _, w := range workersList {
+				nw := base.Clone()
+				Substitute(nw, Options{
+					Config: Extended, POS: true, Pool: true,
+					Workers: w, NoOverlay: noOverlay,
+				})
+				got := blif.ToString(nw)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("trial %d: overlay=%v workers=%d diverged\nwant:\n%s\ngot:\n%s",
+						trial, !noOverlay, w, want, got)
+				}
+			}
+		}
+	}
+}

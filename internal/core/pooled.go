@@ -52,7 +52,7 @@ func pooledVoteTable(sc *scratch, nw network.Reader, f string, divisors []string
 		union = unionSignals(union, dn.Fanins)
 	}
 
-	b := sc.b.Build(nw)
+	b := sc.baseBuild(nw)
 	nl := b.NL
 	ngF := b.Nodes[f]
 
@@ -179,12 +179,18 @@ func onesCount(m uint64) int {
 // (dec.CoreName is the new core node; when the core spans several divisor
 // nodes, no divisor is rewritten and the core stands alone).
 func PooledExtendedDivide(nw network.Reader, f string, divisors []string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
-	return pooledExtendedDivide(newScratch(), nw, f, divisors, cfg)
+	work, res, dec, ok := pooledExtendedDivide(newScratch(), nw, f, divisors, cfg)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	return materializeTrial(work), res, dec, true
 }
 
 // pooledExtendedDivide is PooledExtendedDivide with an explicit scratch
-// arena.
-func pooledExtendedDivide(sc *scratch, nw network.Reader, f string, divisors []string, cfg Config) (*network.Network, *DivideResult, *Decomposition, bool) {
+// arena. Single-node cores return extendedDivide's working copy (an overlay
+// on the copy-on-write path); the cross-node core path always returns a deep
+// clone — it needs Sweep, which only a materialized network supports.
+func pooledExtendedDivide(sc *scratch, nw network.Reader, f string, divisors []string, cfg Config) (trialNet, *DivideResult, *Decomposition, bool) {
 	votes, pool, union, ok := pooledVoteTable(sc, nw, f, divisors, cfg)
 	if !ok {
 		return nil, nil, nil, false

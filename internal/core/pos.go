@@ -22,11 +22,13 @@ const DefaultMaxComplementCubes = 24
 // complement structure must not be observed downstream), so cfg degrades
 // ExtendedGDC to Extended internally.
 func PosDivide(nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
-	return posDivide(newScratch(), nw, f, d, cfg, maxCompl)
+	return posDivide(newScratch(), nw, f, d, cfg, maxCompl, nil, nil)
 }
 
-// posDivide is PosDivide with an explicit scratch arena.
-func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int) (*DivideResult, bool) {
+// posDivide is PosDivide with an explicit scratch arena. preF/preD, when
+// non-nil, are the minimized complements of f and d carried from candidate
+// enumeration (byte-identical to recomputing them — see candidate).
+func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl int, preF, preD *cube.Cover) (*DivideResult, bool) {
 	if maxCompl <= 0 {
 		maxCompl = DefaultMaxComplementCubes
 	}
@@ -40,17 +42,24 @@ func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl
 	if nw.DependsOn(d, f) {
 		return nil, false
 	}
-	fc := fn.Cover.Complement()
-	if fc.IsZero() || fc.NumCubes() > maxCompl {
-		return nil, false
+	// Minimal complements give clean sum terms to match against. The raw
+	// complements' zero/size checks were done by complCache when the covers
+	// come in precomputed.
+	var fc, dc cube.Cover
+	if preF != nil && preD != nil {
+		fc, dc = *preF, *preD
+	} else {
+		fc = fn.Cover.Complement()
+		if fc.IsZero() || fc.NumCubes() > maxCompl {
+			return nil, false
+		}
+		dc = dn.Cover.Complement()
+		if dc.IsZero() || dc.NumCubes() > maxCompl {
+			return nil, false
+		}
+		fc = mini.Minimize(fc, mini.Options{})
+		dc = mini.Minimize(dc, mini.Options{})
 	}
-	dc := dn.Cover.Complement()
-	if dc.IsZero() || dc.NumCubes() > maxCompl {
-		return nil, false
-	}
-	// Minimal complements give clean sum terms to match against.
-	fc = mini.Minimize(fc, mini.Options{})
-	dc = mini.Minimize(dc, mini.Options{})
 	union := unionSignals(fn.Fanins, dn.Fanins)
 	fU := network.RemapCover(fc, fn.Fanins, union)
 	dU := network.RemapCover(dc, dn.Fanins, union)
@@ -90,6 +99,7 @@ type complCache struct {
 	max          int
 	m            map[string]cube.Cover
 	mm           map[string]cube.Cover // minimized complements (signature prefilter)
+	sg           map[string][][]sigLit // literal signatures of m[name] (candidate enumeration)
 	bad          map[string]bool
 	hits, misses int
 }
@@ -99,8 +109,25 @@ func newComplCache(max int) *complCache {
 		max: max,
 		m:   make(map[string]cube.Cover),
 		mm:  make(map[string]cube.Cover),
+		sg:  make(map[string][][]sigLit),
 		bad: make(map[string]bool),
 	}
+}
+
+// getSigs returns the literal signatures of name's complement cover against
+// the node's fanins, memoized with the complement itself (and invalidated
+// with it — the fanin list is part of the node state the commit touched).
+func (cc *complCache) getSigs(nw network.Reader, name string, fanins []string) ([][]sigLit, cube.Cover, bool) {
+	c, ok := cc.get(nw, name)
+	if !ok {
+		return nil, cube.Cover{}, false
+	}
+	if s, ok := cc.sg[name]; ok {
+		return s, c, true
+	}
+	s := coverSigs(c, fanins)
+	cc.sg[name] = s
+	return s, c, true
 }
 
 func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
@@ -146,5 +173,6 @@ func (cc *complCache) getMin(nw network.Reader, name string) (cube.Cover, bool) 
 func (cc *complCache) invalidate(name string) {
 	delete(cc.m, name)
 	delete(cc.mm, name)
+	delete(cc.sg, name)
 	delete(cc.bad, name)
 }

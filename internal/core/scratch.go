@@ -1,33 +1,125 @@
 package core
 
 import (
+	"repro/internal/algebraic"
 	"repro/internal/atpg"
+	"repro/internal/cube"
 	"repro/internal/netlist"
+	"repro/internal/network"
 )
 
-// scratch is the per-worker arena for division trials: one netlist builder
-// and one implication engine, both reset (not reallocated) between trials.
-// Every division evaluation rebuilds a netlist for its working network and
-// runs implications over it; with one scratch per worker those rebuilds
-// recycle the gate arena and the engine's value/queue arrays trial after
-// trial. A scratch is owned by exactly one goroutine at a time and carries
-// no state across trials beyond raw capacity.
+// scratch is the per-worker arena for division trials: netlist builders and
+// implication engines, all reset (not reallocated) between trials. A scratch
+// is owned by exactly one goroutine at a time and carries no result-visible
+// state across trials — only raw capacity and the memoized base build below.
+//
+// Three builders with distinct roles keep the overlay trial path's netlists
+// alive across trials without aliasing:
+//
+//	b       — full per-trial rebuilds: the NoOverlay clone path and GDC
+//	          trials (whose learning pass is gate-id-order sensitive, so
+//	          they must see exactly the netlist a fresh build produces).
+//	bShared — the base build of the pinned live network, built once per
+//	          commit epoch and then patched/rolled back by every trial of
+//	          the wave (see baseBuild).
+//	bFresh  — base builds of any other reader (a window, an extended
+//	          decomposition's working overlay): one build per trial, still
+//	          patched between RAR passes instead of rebuilt.
 type scratch struct {
-	b *netlist.Builder
-	e *atpg.Engine
+	b       *netlist.Builder
+	bShared *netlist.Builder
+	bFresh  *netlist.Builder
+
+	// engines holds one implication engine per builder arena, keyed by the
+	// netlist pointer (stable for a builder's lifetime). Keeping them
+	// separate means every engine() call Rebinds to the netlist it is
+	// already bound to — the cheap O(delta) path — instead of ping-ponging
+	// one engine between arenas with O(gates) clears.
+	engines map[*netlist.Netlist]*atpg.Engine
+
+	// pin is the one reader whose base build may be memoized in bShared: the
+	// live network the evaluator is currently planning against, set by
+	// planPair/planPooled. The explicit pin (instead of keying a cache by
+	// reader pointer) makes address reuse harmless: per-trial windows and
+	// overlays die and their addresses recycle, but they can never equal the
+	// live network's address while it is pinned.
+	pin network.Reader
+	// epoch is the evaluator's commit epoch as of this wave; sharedFor and
+	// sharedEpoch record which (reader, epoch) sharedBuild was built for. A
+	// commit bumps the evaluator's epoch, so stale base builds are never
+	// patched again.
+	epoch       uint64
+	sharedFor   network.Reader
+	sharedEpoch uint64
+	sharedBuild *netlist.Build
+
+	// noOverlay mirrors Options.NoOverlay for the running trial (set at the
+	// planner entry points): trialClone hands out deep clones and every RAR
+	// pass rebuilds its netlist, exactly the historical engine.
+	noOverlay bool
+
+	// flits memoizes FactorLits of LIVE network nodes per (pinned reader,
+	// commit epoch): within an epoch nothing mutates the live network, so
+	// the factored cost of a node (the before-cost every trial of a wave
+	// recomputes) is a pure function of its name. Cleared lazily when the
+	// pin or the epoch changes; holding flitsFor keeps the reader alive, so
+	// the identity comparison cannot be fooled by address reuse.
+	flits      map[string]int
+	flitsFor   network.Reader
+	flitsEpoch uint64
 }
 
 func newScratch() *scratch {
-	return &scratch{b: netlist.NewBuilder()}
+	return &scratch{
+		b:       netlist.NewBuilder(),
+		bShared: netlist.NewBuilder(),
+		bFresh:  netlist.NewBuilder(),
+		engines: make(map[*netlist.Netlist]*atpg.Engine),
+	}
 }
 
-// engine returns the scratch's implication engine rebound to nl with the
-// given options, creating it on first use.
+// engine returns the scratch's implication engine for nl rebound with the
+// given options, creating it on first use of that arena.
 func (sc *scratch) engine(nl *netlist.Netlist, opt atpg.Options) *atpg.Engine {
-	if sc.e == nil {
-		sc.e = atpg.NewEngine(nl, opt)
-		return sc.e
+	if e := sc.engines[nl]; e != nil {
+		e.Rebind(nl, opt)
+		return e
 	}
-	sc.e.Rebind(nl, opt)
-	return sc.e
+	e := atpg.NewEngine(nl, opt)
+	sc.engines[nl] = e
+	return e
+}
+
+// factorLits returns algebraic.FactorLits(cov) memoized by live-node name
+// and commit epoch. Callers must pass covers of live network nodes only —
+// trial/working covers are not keyed by anything stable.
+func (sc *scratch) factorLits(name string, cov cube.Cover) int {
+	if sc.flits == nil || sc.flitsEpoch != sc.epoch || sc.flitsFor != sc.pin {
+		sc.flits = make(map[string]int)
+		sc.flitsFor = sc.pin
+		sc.flitsEpoch = sc.epoch
+	}
+	if v, ok := sc.flits[name]; ok {
+		return v
+	}
+	v := algebraic.FactorLits(cov)
+	sc.flits[name] = v
+	return v
+}
+
+// baseBuild returns a netlist build of r's current state for use as a
+// patch base (or as a read-only implication substrate, e.g. the vote
+// table). Builds of the pinned live reader are memoized per commit epoch —
+// every trial of a wave patches and rolls back the same build — while any
+// other reader gets a fresh single-trial build from the bFresh arena.
+func (sc *scratch) baseBuild(r network.Reader) *netlist.Build {
+	if !sc.noOverlay && r == sc.pin {
+		if sc.sharedBuild == nil || sc.sharedFor != r || sc.sharedEpoch != sc.epoch {
+			sc.sharedBuild = sc.bShared.Build(r)
+			sc.sharedFor = r
+			sc.sharedEpoch = sc.epoch
+		}
+		return sc.sharedBuild
+	}
+	return sc.bFresh.Build(r)
 }

@@ -70,9 +70,17 @@ type Options struct {
 	// NoTrialCache disables trial memoization entirely (the `-nocache`
 	// flag). Only trial counts and wall time change; the result does not.
 	NoTrialCache bool
-	// Audit runs network.Check after every committed substitution and
-	// panics on a violation, and re-runs every trial-cache hit for real,
-	// panicking unless the replayed plan matches the fresh trial
+	// NoOverlay disables the copy-on-write trial path: every division trial
+	// runs on a full deep clone of the network and every RAR pass rebuilds
+	// its netlist from scratch — the historical engine. The overlay path is
+	// result-invisible (the committed network is byte-identical with
+	// overlays on or off, at any worker count; the invariant tests and the
+	// Audit cross-check enforce it), so this is an escape hatch and the
+	// audit reference, not a tuning knob.
+	NoOverlay bool
+	// Audit runs network.Check after every committed substitution, re-runs
+	// every trial-cache hit for real, and re-runs every overlay-path trial
+	// on the deep-clone path, panicking unless the plans match
 	// byte-for-byte. The audits are O(network)/O(trial), so this is a
 	// debugging/testing mode, not a production default; the integration
 	// tests and the fuzz harness enable it.
@@ -241,11 +249,16 @@ func Substitute(nw *network.Network, opt Options) Stats {
 		defer nw.DisableCones()
 	}
 
+	// The complement and signature caches survive across passes: commits
+	// invalidate every touched name (the same mechanism that keeps them
+	// correct across commits within a pass), so entries for untouched nodes
+	// stay valid and the second pass skips their recomputation entirely.
+	cc := newComplCache(maxCompl)
+	sigs := newSigCache(nw)
+
 	for pass := 0; pass < maxPasses; pass++ {
 		passStart := clk.Now()
 		changed := false
-		cc := newComplCache(maxCompl)
-		sigs := newSigCache(nw)
 		names := append([]string(nil), nw.TopoOrder()...)
 		// Work outputs-first: substituting into later nodes first tends to
 		// expose more sharing.
@@ -277,17 +290,28 @@ func Substitute(nw *network.Network, opt Options) Stats {
 			if opt.BestGain {
 				// Evaluate every candidate and commit the best gain (ties
 				// broken toward the earliest candidate, like the serial scan).
+				// When a commit is depth-rejected the next-best positive-gain
+				// plan is tried — the rejection was undone byte-exactly, so
+				// every other plan of the batch is still valid, and
+				// abandoning the node outright would make BestGain strictly
+				// weaker than the greedy rule under a DepthBudget.
 				results := ev.plans(nw, f, cands, opt, sf, tc)
 				tallySigFilter(&st, results, sf, tc != nil)
-				best := plan{gain: 0}
-				for _, r := range results {
-					if r.ok && r.p.gain > best.gain {
-						best = r.p
+				order := make([]int, 0, len(results))
+				for i, r := range results {
+					if r.ok && r.p.gain > 0 {
+						order = append(order, i)
 					}
 				}
-				if best.gain > 0 && commitPlan(nw, best, opt, cc, sigs, &st) {
-					changed = true
-					committed = true
+				sort.SliceStable(order, func(a, b int) bool {
+					return results[order[a]].p.gain > results[order[b]].p.gain
+				})
+				for _, i := range order {
+					if ev.commit(nw, results[i].p, opt, cc, sigs, &st) {
+						changed = true
+						committed = true
+						break
+					}
 				}
 			} else {
 				// First-positive-gain rule, in waves of one planner batch:
@@ -307,7 +331,7 @@ func Substitute(nw *network.Network, opt Options) Stats {
 						if !r.ok || r.p.gain <= 0 {
 							continue
 						}
-						if commitPlan(nw, r.p, opt, cc, sigs, &st) {
+						if ev.commit(nw, r.p, opt, cc, sigs, &st) {
 							changed = true
 							committed = true
 							break // paper: take the first positive-gain division
@@ -318,12 +342,13 @@ func Substitute(nw *network.Network, opt Options) Stats {
 				}
 			}
 			if !committed && opt.Pool && opt.Config != Basic {
+				ev.scratches[0].epoch = ev.epoch
 				if p, ok := planPooled(ev.scratches[0], nw, f, cands, opt); ok {
 					// Pooled divisions historically bypass the depth budget:
 					// they only run when nothing else committed.
 					poolOpt := opt
 					poolOpt.DepthBudget = 0
-					if commitPlan(nw, p, poolOpt, cc, sigs, &st) {
+					if ev.commit(nw, p, poolOpt, cc, sigs, &st) {
 						changed = true
 					}
 				}
@@ -331,14 +356,14 @@ func Substitute(nw *network.Network, opt Options) Stats {
 		}
 		st.Passes++
 		st.PassTimes = append(st.PassTimes, clk.Since(passStart))
-		st.SigCacheHits += sigs.hits
-		st.SigCacheMisses += sigs.misses
-		st.ComplCacheHits += cc.hits
-		st.ComplCacheMisses += cc.misses
 		if !changed {
 			break
 		}
 	}
+	st.SigCacheHits = sigs.hits
+	st.SigCacheMisses = sigs.misses
+	st.ComplCacheHits = cc.hits
+	st.ComplCacheMisses = cc.misses
 	st.LitsAfter = nw.FactoredLits()
 	return st
 }
@@ -376,10 +401,23 @@ func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter, cacheOn b
 
 // candidate pairs a divisor node with the form that passed the structural
 // prefilter: plain SOP, complement-phase SOP (divide by d'), or POS.
+//
+// The complement covers the form needs are memoized here at enumeration
+// time (they are complCache results the prefilter computed anyway), so the
+// parallel trials skip the per-trial Complement/Minimize recomputation.
+// Safe to share: nothing commits between enumeration and this node's
+// trials, the covers are never mutated, and Complement/Minimize are
+// deterministic — a trial reading the carried cover is byte-identical to
+// one recomputing it. nil = not prefetched; the divide routines recompute
+// (public one-shot wrappers, hand-built candidates in tests).
 type candidate struct {
 	name string
 	pos  bool
 	neg  bool
+
+	dCompl    *cube.Cover // d's complement (complement-phase SOP form)
+	dComplMin *cube.Cover // minimized d complement (POS form)
+	fComplMin *cube.Cover // minimized f complement (POS form)
 }
 
 // sigCache caches per-node cube literal signatures ((signal, phase) sets)
@@ -420,19 +458,30 @@ func (sc *sigCache) invalidate(name string) { delete(sc.m, name) }
 func coverSigs(cov cube.Cover, fanins []string) [][]sigLit {
 	out := make([][]sigLit, 0, cov.NumCubes())
 	for _, c := range cov.Cubes {
-		var row []sigLit
-		for _, v := range c.Lits() {
-			row = append(row, sigLit{fanins[v], c.Get(v) == cube.Neg})
-		}
-		sort.Slice(row, func(i, j int) bool {
-			if row[i].sig != row[j].sig {
-				return row[i].sig < row[j].sig
+		row := make([]sigLit, 0, c.NumLits())
+		for v := 0; v < c.NumVars(); v++ {
+			if p := c.Get(v); p == cube.Pos || p == cube.Neg {
+				row = append(row, sigLit{fanins[v], p == cube.Neg})
 			}
-			return !row[i].neg
-		})
+		}
+		// Stable-by-construction insertion sort on (sig, pos-first); keys
+		// are unique (one entry per variable, fanin names distinct), so the
+		// order matches what any comparison sort produces.
+		for i := 1; i < len(row); i++ {
+			for j := i; j > 0 && lessSigLit(row[j], row[j-1]); j-- {
+				row[j], row[j-1] = row[j-1], row[j]
+			}
+		}
 		out = append(out, row)
 	}
 	return out
+}
+
+func lessSigLit(a, b sigLit) bool {
+	if a.sig != b.sig {
+		return a.sig < b.sig
+	}
+	return !a.neg
 }
 
 // subsetSig reports whether literal set a ⊆ b (both sorted).
@@ -473,8 +522,8 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 	fn := nw.Node(f)
 	var fcSigs [][]sigLit
 	if opt.POS {
-		if fcov, ok := cc.get(nw, f); ok {
-			fcSigs = coverSigs(fcov, fn.Fanins)
+		if s, _, ok := cc.getSigs(nw, f, fn.Fanins); ok {
+			fcSigs = s
 		}
 	}
 	fSupport := make(map[string]bool, len(fn.Fanins))
@@ -506,15 +555,21 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 		if anyContainment(sigs.get(d), fSigs) {
 			out = append(out, scored{candidate{name: d}, overlap})
 		}
-		if dcov, ok := cc.get(nw, d); ok {
-			dcSigs := coverSigs(dcov, dn.Fanins)
+		if dcSigs, dcov, ok := cc.getSigs(nw, d, dn.Fanins); ok {
 			// Complement-phase SOP division (f = q·d' + r) — the phase the
 			// SIS resub -d baseline exploits.
 			if anyContainment(dcSigs, fSigs) {
-				out = append(out, scored{candidate{name: d, neg: true}, overlap})
+				dc := dcov
+				out = append(out, scored{candidate{name: d, neg: true, dCompl: &dc}, overlap})
 			}
 			if opt.POS && fcSigs != nil && anyContainment(dcSigs, fcSigs) {
-				out = append(out, scored{candidate{name: d, pos: true}, overlap})
+				c := candidate{name: d, pos: true}
+				if dcm, ok := cc.getMin(nw, d); ok {
+					if fcm, ok := cc.getMin(nw, f); ok {
+						c.dComplMin, c.fComplMin = &dcm, &fcm
+					}
+				}
+				out = append(out, scored{c, overlap})
 			}
 		}
 	}

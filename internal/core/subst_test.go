@@ -273,6 +273,46 @@ func TestDepthBudgetLooseAllowsGains(t *testing.T) {
 	}
 }
 
+// TestBestGainRetriesNextBestUnderDepthBudget is the regression test for
+// BestGain under a DepthBudget: when the best-gain plan is depth-rejected,
+// the engine must fall back to the next-best positive-gain plan instead of
+// abandoning the node (which would make BestGain strictly weaker than the
+// greedy first-positive rule under the same budget).
+//
+// Construction: f = tcde + x has two divisors — h = tcd (gain 2, but h sits
+// one level below f, so committing it deepens the network past the budget)
+// and g = ce (gain 1, level 1, depth-neutral). BestGain must try h first,
+// have the commit depth-rejected and undone byte-exactly, then commit g.
+func TestBestGainRetriesNextBestUnderDepthBudget(t *testing.T) {
+	nw := network.New("retry")
+	for _, pi := range []string{"a", "b", "c", "d", "e", "x"} {
+		nw.AddPI(pi)
+	}
+	nw.AddNode("t", []string{"a", "b"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("g", []string{"c", "e"}, cube.ParseCover(2, "ab"))
+	nw.AddNode("h", []string{"t", "c", "d"}, cube.ParseCover(3, "abc"))
+	nw.AddNode("f", []string{"t", "c", "d", "e", "x"}, cube.ParseCover(5, "abcd + e"))
+	for _, po := range []string{"f", "g", "h", "t"} {
+		nw.AddPO(po)
+	}
+	_, budget := nw.Levels()
+	ref := nw.Clone()
+	st := Substitute(nw, Options{Config: Basic, BestGain: true, DepthBudget: budget, MaxPasses: 1})
+	if st.DepthRejected == 0 {
+		t.Fatalf("best-gain plan (h) was not depth-rejected: %+v", st)
+	}
+	if nw.Node("f").FaninIndex("g") < 0 {
+		t.Fatalf("retry did not commit the next-best plan (g into f): f fanins %v, stats %+v",
+			nw.Node("f").Fanins, st)
+	}
+	if _, d := nw.Levels(); d > budget {
+		t.Errorf("depth budget violated: %d > %d", d, budget)
+	}
+	if !verify.Equivalent(ref, nw) {
+		t.Fatal("equivalence broken")
+	}
+}
+
 func TestPropDepthBudgetSound(t *testing.T) {
 	r := rand.New(rand.NewSource(151))
 	for trial := 0; trial < 8; trial++ {

@@ -187,7 +187,10 @@ func (tc *TrialCache) store(k trialKey, p plan, ok bool) {
 // network. usable=false means the entry cannot be replayed here (the core
 // node's fresh name is taken, or a delta no longer applies) and the caller
 // must fall back to a real trial; ok mirrors planPair's second result.
-func (e *trialEntry) replay(nw network.Reader, f, d string) (p plan, ok, usable bool) {
+// noOverlay selects the working-copy shape for whole-network plans — an
+// overlay delta by default, a deep clone under Options.NoOverlay — matching
+// what a fresh trial would hand commitPlan.
+func (e *trialEntry) replay(nw network.Reader, f, d string, noOverlay bool) (p plan, ok, usable bool) {
 	if !e.ok {
 		return plan{}, false, true // cached negative verdict
 	}
@@ -211,7 +214,12 @@ func (e *trialEntry) replay(nw network.Reader, f, d string) (p plan, ok, usable 
 	if e.core != "" && nw.FreshName("bdc") != e.core {
 		return plan{}, false, false
 	}
-	work := nw.Clone()
+	var work trialNet
+	if noOverlay {
+		work = nw.Clone()
+	} else {
+		work = network.NewOverlay(nw)
+	}
 	if e.core != "" {
 		work.AddNode(e.core, append([]string(nil), e.coreFanins...), e.coreCover.Clone())
 	}

@@ -103,13 +103,31 @@ func (f Cover) HasVar(v int) bool {
 }
 
 // Cofactor returns the cover cofactored against cube p: cubes disjoint from
-// p are dropped, the rest have p's variables freed.
+// p are dropped, the rest have p's variables freed. The surviving cubes
+// share one backing word array (the cover is freshly built, so nothing
+// aliases it).
 func (f Cover) Cofactor(p Cube) Cover {
 	g := NewCover(f.n)
+	keep := 0
 	for _, c := range f.Cubes {
-		if cc, ok := c.Cofactor(p); ok {
-			g.Cubes = append(g.Cubes, cc)
+		if !c.Disjoint(p) {
+			keep++
 		}
+	}
+	if keep == 0 {
+		return g
+	}
+	nw := len(f.Cubes[0].w)
+	backing := make([]uint64, keep*nw)
+	g.Cubes = make([]Cube, 0, keep)
+	for _, c := range f.Cubes {
+		if c.Disjoint(p) {
+			continue
+		}
+		w := backing[:nw:nw]
+		backing = backing[nw:]
+		c.cofactorInto(w, p)
+		g.Cubes = append(g.Cubes, Cube{w: w, n: f.n})
 	}
 	return g
 }
@@ -118,11 +136,29 @@ func (f Cover) Cofactor(p Cube) Cover {
 // and cubes contained in another cube of the cover. The result is returned;
 // f is unchanged.
 func (f Cover) SCC() Cover {
+	if len(f.Cubes) == 0 {
+		return NewCover(f.n)
+	}
+	if len(f.Cubes) == 1 {
+		return Cover{n: f.n, Cubes: []Cube{f.Cubes[0]}}
+	}
 	// Sort by decreasing cube size (fewer literals first => bigger cubes
-	// first) so one pass suffices.
+	// first) so one pass suffices. Stable insertion sort on precomputed
+	// literal counts — same order sort.SliceStable produced, without the
+	// reflection machinery (SCC is on the hot path of Complement and the
+	// minimizer).
 	cs := make([]Cube, len(f.Cubes))
 	copy(cs, f.Cubes)
-	sort.SliceStable(cs, func(i, j int) bool { return cs[i].NumLits() < cs[j].NumLits() })
+	lits := make([]int, len(cs))
+	for i, c := range cs {
+		lits[i] = c.NumLits()
+	}
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && lits[j] < lits[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
 	g := NewCover(f.n)
 	for _, c := range cs {
 		kept := true
@@ -142,64 +178,111 @@ func (f Cover) SCC() Cover {
 // IsTautology reports whether the cover equals the constant-1 function,
 // using the unate recursive paradigm.
 func (f Cover) IsTautology() bool {
-	return tautology(f, 0)
+	return tautology(f, New(f.n), 0)
 }
 
 const maxTautDepth = 1 << 20 // recursion guard; never hit in practice
 
-func tautology(f Cover, depth int) bool {
+// tautology reports whether f cofactored by the restriction cube r is the
+// constant-1 function. The cofactor is never materialized: cubes disjoint
+// from r are skipped, and variables bound by r read as Free. Branching
+// binds a variable of r in place (restored on return), so the whole
+// recursion allocates nothing.
+func tautology(f Cover, r Cube, depth int) bool {
 	if depth > maxTautDepth {
 		panic("cube: tautology recursion blow-up")
 	}
-	// Quick exits.
-	if len(f.Cubes) == 0 {
-		return false
-	}
+	// Quick exits: no surviving cube means constant 0; a cube whose
+	// cofactor is the universal cube means constant 1.
+	live := 0
 	for _, c := range f.Cubes {
-		if c.IsUniverse() {
+		if c.Disjoint(r) {
+			continue
+		}
+		live++
+		universe := true
+		for i := range c.w {
+			m := fullMask(c.n, i)
+			if (c.w[i]|^r.w[i])&m != m {
+				universe = false
+				break
+			}
+		}
+		if universe {
 			return true
 		}
 	}
-	// Unate reduction: a variable appearing in only one phase can have cubes
-	// containing it deleted only if... (unate tautology test): a unate cover
-	// is a tautology iff it contains the universal cube. If the whole cover
-	// is unate, we are done (no universal cube was found above).
-	v, binate := mostBinateVar(f)
+	if live == 0 {
+		return false
+	}
+	// Unate reduction: a unate cover is a tautology iff it contains the
+	// universal cube, and none was found above, so a unate residue is a no.
+	v, binate := mostBinateVarUnder(f, r)
 	if !binate {
-		// Unate cover without the universal cube: not a tautology, unless
-		// dropping unate literals exposes one — for a unate cover, deleting
-		// all literals of a variable that appears in a single phase cannot
-		// create a tautology that wasn't one, so the answer is no.
 		return false
 	}
-	lit := New(f.n)
-	lit.Set(v, Pos)
-	if !tautology(f.Cofactor(lit), depth+1) {
+	r.Set(v, Pos)
+	if !tautology(f, r, depth+1) {
+		r.Set(v, Free)
 		return false
 	}
-	lit.Set(v, Neg)
-	return tautology(f.Cofactor(lit), depth+1)
+	r.Set(v, Neg)
+	ok := tautology(f, r, depth+1)
+	r.Set(v, Free)
+	return ok
+}
+
+// mostBinateVarUnder is mostBinateVar evaluated on the (virtual) cofactor
+// of f by restriction r: cubes disjoint from r are skipped and variables
+// bound by r never count (they read as Free in the cofactor).
+func mostBinateVarUnder(f Cover, r Cube) (v int, binate bool) {
+	best, bestCount := -1, -1
+	for u := 0; u < f.n; u++ {
+		i, s := u/varsPerWord, 2*uint(u%varsPerWord)
+		if Phase(r.w[i]>>s&0b11) != Free {
+			continue
+		}
+		p, n := 0, 0
+		for _, c := range f.Cubes {
+			if c.Disjoint(r) {
+				continue
+			}
+			switch Phase(c.w[i] >> s & 0b11) {
+			case Pos:
+				p++
+			case Neg:
+				n++
+			}
+		}
+		if p > 0 && n > 0 && p+n > bestCount {
+			best, bestCount = u, p+n
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
 }
 
 // mostBinateVar picks the variable appearing in both phases in the most
 // cubes (lowest index on ties, for determinism); binate is false when the
-// cover is unate (no such variable).
+// cover is unate (no such variable). Counts are taken variable-major with
+// word-level phase tests — this sits on the recursion path of tautology and
+// complement, so it must not allocate.
 func mostBinateVar(f Cover) (v int, binate bool) {
-	pos := make(map[int]int)
-	neg := make(map[int]int)
-	for _, c := range f.Cubes {
-		for _, u := range c.Lits() {
-			if c.Get(u) == Pos {
-				pos[u]++
-			} else {
-				neg[u]++
-			}
-		}
-	}
 	best, bestCount := -1, -1
 	for u := 0; u < f.n; u++ {
-		p := pos[u]
-		if n := neg[u]; p > 0 && n > 0 && p+n > bestCount {
+		i, s := u/varsPerWord, 2*uint(u%varsPerWord)
+		p, n := 0, 0
+		for _, c := range f.Cubes {
+			switch Phase(c.w[i] >> s & 0b11) {
+			case Pos:
+				p++
+			case Neg:
+				n++
+			}
+		}
+		if p > 0 && n > 0 && p+n > bestCount {
 			best, bestCount = u, p+n
 		}
 	}
@@ -211,12 +294,25 @@ func mostBinateVar(f Cover) (v int, binate bool) {
 
 // ContainsCube reports whether cube c is contained in the cover (every
 // minterm of c is covered): equivalent to the cofactor of f by c being a
-// tautology.
+// tautology. The cofactor is evaluated virtually — c seeds the tautology
+// recursion's restriction cube (cloned: the recursion scribbles on it).
 func (f Cover) ContainsCube(c Cube) bool {
 	if c.IsEmpty() {
 		return true
 	}
-	return f.Cofactor(c).IsTautology()
+	return tautology(f, c.Clone(), 0)
+}
+
+// ContainsCubeUsing is ContainsCube with a caller-provided scratch cube of
+// the same variable space: the scratch receives c's contents and serves as
+// the recursion's restriction, so tight loops avoid the per-call clone. The
+// scratch's previous contents are destroyed.
+func (f Cover) ContainsCubeUsing(c, scratch Cube) bool {
+	if c.IsEmpty() {
+		return true
+	}
+	copy(scratch.w, c.w)
+	return tautology(f, scratch, 0)
 }
 
 // ContainsCover reports whether g ⊆ f as functions.
@@ -260,15 +356,16 @@ func complement(f Cover) Cover {
 	if !binate {
 		// Pick the most frequent variable (lowest index on ties) to keep
 		// recursion shallow and deterministic.
-		count := make(map[int]int)
-		for _, c := range f.Cubes {
-			for _, u := range c.Lits() {
-				count[u]++
-			}
-		}
 		best, bc := -1, -1
 		for u := 0; u < f.n; u++ {
-			if k := count[u]; k > bc {
+			i, s := u/varsPerWord, 2*uint(u%varsPerWord)
+			k := 0
+			for _, c := range f.Cubes {
+				if p := Phase(c.w[i] >> s & 0b11); p == Pos || p == Neg {
+					k++
+				}
+			}
+			if k > bc {
 				best, bc = u, k
 			}
 		}

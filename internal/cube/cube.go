@@ -245,21 +245,72 @@ func (c Cube) Supercube(d Cube) Cube {
 	return Cube{w: w, n: c.n}
 }
 
+// UnionWith widens c in place to the supercube of c and d: every variable
+// where the phases differ becomes Free. Equivalently, c keeps exactly the
+// literals d agrees on — the step of a common-cube (literal-intersection)
+// accumulation.
+func (c Cube) UnionWith(d Cube) {
+	if c.n != d.n {
+		panic("cube: mismatched variable spaces")
+	}
+	for i := range c.w {
+		c.w[i] |= d.w[i]
+	}
+}
+
+// FreeLitsOf returns a copy of c with every variable that appears as a
+// literal in d set to Free (the cube quotient c/d when d contains c).
+func (c Cube) FreeLitsOf(d Cube) Cube {
+	if c.n != d.n {
+		panic("cube: mismatched variable spaces")
+	}
+	out := c.Clone()
+	for i := range out.w {
+		w := d.w[i]
+		lo := w & 0x5555555555555555
+		hi := (w >> 1) & 0x5555555555555555
+		lit := lo ^ hi // slots where d has exactly one phase bit set
+		out.w[i] |= lit | lit<<1
+	}
+	return out
+}
+
+// Disjoint reports whether c∩p is empty (some variable slot of the
+// intersection is 00) without materializing the intersection cube.
+func (c Cube) Disjoint(p Cube) bool {
+	for i := range c.w {
+		m := fullMask(c.n, i) & 0x5555555555555555
+		w := c.w[i] & p.w[i]
+		lo := w & 0x5555555555555555
+		hi := (w >> 1) & 0x5555555555555555
+		if (lo|hi)&m != m {
+			return true
+		}
+	}
+	return false
+}
+
 // Cofactor returns the Shannon cofactor of c with respect to cube p
 // (ordinarily a single literal): variables bound by p are freed in the
 // result; the second return is false when c∩p is empty (the cofactor is the
 // empty cube and should be dropped from a cover).
 func (c Cube) Cofactor(p Cube) (Cube, bool) {
-	if c.And(p).IsEmpty() {
+	if c.Disjoint(p) {
 		return Cube{}, false
 	}
 	w := make([]uint64, len(c.w))
-	for i := range w {
+	c.cofactorInto(w, p)
+	return Cube{w: w, n: c.n}, true
+}
+
+// cofactorInto writes the cofactor words of c w.r.t. p into dst
+// (len(dst) == len(c.w)); the caller has already checked !c.Disjoint(p).
+func (c Cube) cofactorInto(dst []uint64, p Cube) {
+	for i := range dst {
 		// Free every variable where p has a literal: OR with ^p restricted to
 		// literal slots of p; simplest correct form is c | ~p (ANDed to space).
-		w[i] = (c.w[i] | ^p.w[i]) & fullMask(c.n, i)
+		dst[i] = (c.w[i] | ^p.w[i]) & fullMask(c.n, i)
 	}
-	return Cube{w: w, n: c.n}, true
 }
 
 // ContainsVar reports whether variable v appears as a literal in c.

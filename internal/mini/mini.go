@@ -89,6 +89,7 @@ func Expand(f, dc cube.Cover) cube.Cover {
 	cs := append([]cube.Cube(nil), f.Cubes...)
 	sortByLits(cs)
 	out := cube.NewCover(n)
+	scratch := cube.New(n)
 	for _, c := range cs {
 		// Already covered by an expanded prime?
 		covered := false
@@ -101,19 +102,26 @@ func Expand(f, dc cube.Cover) cube.Cover {
 		if covered {
 			continue
 		}
-		e := expandCube(c, fd)
+		e := expandCube(c, fd, scratch)
 		out.Cubes = append(out.Cubes, e)
 	}
 	return out.SCC()
 }
 
-// expandCube removes literals from c while containment in fd holds.
-func expandCube(c cube.Cube, fd cube.Cover) cube.Cube {
+// expandCube removes literals from c while containment in fd holds. The
+// candidate cube is mutated in place and the literal restored on failure —
+// equivalent to testing a fresh copy per literal, without the copies.
+func expandCube(c cube.Cube, fd cube.Cover, scratch cube.Cube) cube.Cube {
 	e := c.Clone()
-	for _, v := range c.Lits() {
-		t := e.With(v, cube.Free)
-		if fd.ContainsCube(t) {
-			e = t
+	for v := 0; v < c.NumVars(); v++ {
+		p := c.Get(v)
+		if p != cube.Pos && p != cube.Neg {
+			continue
+		}
+		old := e.Get(v)
+		e.Set(v, cube.Free)
+		if !fd.ContainsCubeUsing(e, scratch) {
+			e.Set(v, old)
 		}
 	}
 	return e
@@ -126,16 +134,20 @@ func Irredundant(f, dc cube.Cover) cube.Cover {
 	n := f.NumVars()
 	cs := append([]cube.Cube(nil), f.Cubes...)
 	sortByLits(cs) // fewest literals (largest cubes) first => removed last below
-	// Try removing in reverse: smallest cubes first.
+	// Try removing in reverse: smallest cubes first. One rest buffer is
+	// reused across iterations — its contents are rebuilt each time.
+	rest := cube.NewCover(n)
+	rest.Cubes = make([]cube.Cube, 0, len(cs)+len(dc.Cubes))
+	scratch := cube.New(n)
 	for i := len(cs) - 1; i >= 0; i-- {
-		rest := cube.NewCover(n)
+		rest.Cubes = rest.Cubes[:0]
 		for j, k := range cs {
 			if j != i {
 				rest.Cubes = append(rest.Cubes, k)
 			}
 		}
 		rest.Cubes = append(rest.Cubes, dc.Cubes...)
-		if rest.ContainsCube(cs[i]) {
+		if rest.ContainsCubeUsing(cs[i], scratch) {
 			cs = append(cs[:i], cs[i+1:]...)
 		}
 	}
@@ -153,8 +165,10 @@ func Reduce(f, dc cube.Cover) cube.Cover {
 	cs := append([]cube.Cube(nil), f.Cubes...)
 	// Process smallest last (classic heuristic: reduce large cubes first).
 	sortByLits(cs)
+	rest := cube.NewCover(n)
+	rest.Cubes = make([]cube.Cube, 0, len(cs)+len(dc.Cubes))
 	for i, c := range cs {
-		rest := cube.NewCover(n)
+		rest.Cubes = rest.Cubes[:0]
 		for j := range cs {
 			if j == i {
 				continue

@@ -62,6 +62,10 @@ type Netlist struct {
 	// isPO marks gates that are directly observable (primary outputs); the
 	// dominator walk must stop there.
 	isPO map[int]bool
+	// transaction journal (see tx.go): when txOn, every structural mutation
+	// appends an undo record.
+	tx   []txOp
+	txOn bool
 }
 
 // NodeGates records the two-level structure built for one network node.
@@ -120,6 +124,9 @@ func (nl *Netlist) AddGate(k Kind, fanins ...int) int {
 	for _, f := range fanins {
 		nl.gates[f].fanouts = append(nl.gates[f].fanouts, id)
 	}
+	if nl.txOn {
+		nl.tx = append(nl.tx, txOp{kind: txAddGate, g: id})
+	}
 	return id
 }
 
@@ -128,6 +135,9 @@ func (nl *Netlist) AddGate(k Kind, fanins ...int) int {
 // inverter maps, and the PO lists are cleared in place. A Reset netlist is
 // observationally identical to a New one.
 func (nl *Netlist) Reset() {
+	if nl.txOn {
+		panic("netlist: Reset during an open transaction")
+	}
 	nl.gates = nl.gates[:0]
 	clear(nl.Signal)
 	clear(nl.inv)
@@ -151,6 +161,9 @@ func (nl *Netlist) Invert(g int) int {
 	}
 	n := nl.AddGate(Not, g)
 	nl.inv[g] = n
+	if nl.txOn {
+		nl.tx = append(nl.tx, txOp{kind: txInvert, g: g})
+	}
 	return n
 }
 
@@ -162,6 +175,9 @@ func (nl *Netlist) RemovePin(g, idx int) {
 	fo := nl.gates[f].fanouts
 	for i, x := range fo {
 		if x == g {
+			if nl.txOn {
+				nl.tx = append(nl.tx, txOp{kind: txRemovePin, g: g, pin: idx, src: f, foIdx: i})
+			}
 			nl.gates[f].fanouts = append(fo[:i], fo[i+1:]...)
 			break
 		}
@@ -172,6 +188,9 @@ func (nl *Netlist) RemovePin(g, idx int) {
 func (nl *Netlist) AddPin(g, src int) int {
 	nl.gates[g].fanins = append(nl.gates[g].fanins, src)
 	nl.gates[src].fanouts = append(nl.gates[src].fanouts, g)
+	if nl.txOn {
+		nl.tx = append(nl.tx, txOp{kind: txAddPin, g: g})
+	}
 	return len(nl.gates[g].fanins) - 1
 }
 

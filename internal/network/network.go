@@ -424,6 +424,26 @@ func (nw *Network) NormalizeNode(name string) {
 	}
 }
 
+// SetNodeCover replaces node name's cover in place, keeping its fanin list.
+// The cover's variable space must match the fanin count — this is the RAR
+// extraction seam, where redundancy removal only deletes literals.
+func (nw *Network) SetNodeCover(name string, cover cube.Cover) {
+	n := nw.nodes[name]
+	if n == nil {
+		panic(fmt.Sprintf("network: no node %q", name))
+	}
+	if cover.NumVars() != len(n.Fanins) {
+		panic(fmt.Sprintf("network: cover space mismatch for %q", name))
+	}
+	n.Cover = cover
+	if nw.sigs != nil {
+		nw.sigs.markDirty(name)
+	}
+	if nw.cones != nil {
+		nw.cones.markDirty(name)
+	}
+}
+
 // FreshName generates an unused signal name with the given prefix. It is a
 // pure probe (nothing is reserved), so it is part of the Reader surface.
 func (nw *Network) FreshName(prefix string) string {

@@ -1,0 +1,493 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebraic"
+	"repro/internal/cube"
+)
+
+// Overlay is a copy-on-write editing view over a Reader: node replacements,
+// additions, and deletions are recorded in a private delta while every
+// untouched node reads through to the base. It satisfies Reader itself, so
+// the whole division machinery (netlist building, window extraction,
+// dependency walks) runs on an overlay exactly as it would on a deep clone —
+// but creating one is O(1), mutating it is O(touched nodes), and discarding
+// it is free. Committing extracts the delta (Added/Changed/Deleted, or
+// ApplyTo) instead of copying the network back.
+//
+// Result invisibility is the design contract: every read an Overlay answers
+// is byte-identical to the same read on base.Clone() with the same mutations
+// applied — node identity, iteration order (replaced nodes keep their base
+// creation-order slot, added nodes append), TopoOrder visiting sequence,
+// FreshName probes, and the absence of signature/cone tables (clones do not
+// carry them, so Sigs/Cones return nil). FuzzOverlayReadEquivalence locks
+// this down against the materialized clone.
+//
+// An Overlay is owned by a single goroutine; concurrent overlays over one
+// shared base are safe because their deltas are private and base reads are
+// pure.
+type Overlay struct {
+	base Reader
+	// nodes holds the delta bodies: a non-nil entry replaces (or adds) the
+	// node, a nil entry marks a base node deleted.
+	nodes map[string]*Node
+	// added lists names created on the overlay, in creation order (the order
+	// a clone's AddNode calls would append them to the network's order).
+	added []string
+	// changed lists base node names the overlay replaced or deleted, in
+	// first-touch order (deterministic delta extraction without map ranging).
+	changed []string
+	// dels counts deleted base nodes (for NumNodes).
+	dels int
+}
+
+// NewOverlay returns an empty copy-on-write view over base.
+func NewOverlay(base Reader) *Overlay {
+	return &Overlay{base: base, nodes: make(map[string]*Node)}
+}
+
+// Base returns the reader the overlay was created over.
+func (o *Overlay) Base() Reader { return o.base }
+
+// NetName returns the base network's name.
+func (o *Overlay) NetName() string { return o.base.NetName() }
+
+// Node returns the node driving name under the overlay: the delta body when
+// touched (nil when deleted), the base node otherwise.
+func (o *Overlay) Node(name string) *Node {
+	if n, ok := o.nodes[name]; ok {
+		return n
+	}
+	return o.base.Node(name)
+}
+
+// PIs returns the base primary inputs (overlays never change the interface).
+func (o *Overlay) PIs() []string { return o.base.PIs() }
+
+// POs returns the base primary outputs.
+func (o *Overlay) POs() []string { return o.base.POs() }
+
+// IsPI reports whether name is a primary input of the base.
+func (o *Overlay) IsPI(name string) bool { return o.base.IsPI(name) }
+
+// isAdded reports whether name was created on the overlay. The added list
+// stays tiny (a division trial adds at most one core node), so a scan beats
+// a second map.
+func (o *Overlay) isAdded(name string) bool {
+	for _, a := range o.added {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns all live nodes in deterministic order: the base's creation
+// order with replacements substituted and deletions skipped, then the
+// overlay's additions in creation order — exactly the order a mutated clone
+// would report.
+func (o *Overlay) Nodes() []*Node {
+	base := o.base.Nodes()
+	out := make([]*Node, 0, len(base)+len(o.added))
+	for _, n := range base {
+		if d, ok := o.nodes[n.Name]; ok {
+			if d != nil {
+				out = append(out, d)
+			}
+			continue
+		}
+		out = append(out, n)
+	}
+	for _, name := range o.added {
+		if n := o.nodes[name]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the live node count under the overlay.
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() + len(o.added) - o.dels }
+
+// TopoOrder returns node names topologically sorted, mirroring
+// Network.TopoOrder over the overlay view (same visiting sequence as a
+// mutated clone, panicking on a combinational cycle).
+func (o *Overlay) TopoOrder() []string {
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var out []string
+	var visit func(string)
+	visit = func(s string) {
+		if o.IsPI(s) {
+			return
+		}
+		n := o.Node(s)
+		if n == nil {
+			return
+		}
+		switch state[s] {
+		case 1:
+			panic("network: combinational cycle at " + s)
+		case 2:
+			return
+		}
+		state[s] = 1
+		for _, f := range n.Fanins {
+			visit(f)
+		}
+		state[s] = 2
+		out = append(out, s)
+	}
+	for _, n := range o.base.Nodes() {
+		visit(n.Name)
+	}
+	for _, name := range o.added {
+		visit(name)
+	}
+	return out
+}
+
+// SortedNodeNames returns live node names sorted lexicographically.
+func (o *Overlay) SortedNodeNames() []string {
+	nodes := o.Nodes()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependsOn reports whether signal a transitively depends on signal b under
+// the overlay.
+func (o *Overlay) DependsOn(a, b string) bool {
+	if a == b {
+		return true
+	}
+	seen := make(map[string]bool)
+	var walk func(string) bool
+	walk = func(s string) bool {
+		if s == b {
+			return true
+		}
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+		n := o.Node(s)
+		if n == nil {
+			return false
+		}
+		for _, f := range n.Fanins {
+			if walk(f) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(a)
+}
+
+// TFOSet returns the transitive-fanout node set of a signal under the
+// overlay.
+func (o *Overlay) TFOSet(name string) map[string]bool {
+	fanouts := o.Fanouts()
+	out := make(map[string]bool)
+	stack := []string{name}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range fanouts[s] {
+			if !out[fo] {
+				out[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return out
+}
+
+// Fanouts returns the fanout map of the overlay view, in the same
+// deterministic order as Network.Fanouts.
+func (o *Overlay) Fanouts() map[string][]string {
+	out := make(map[string][]string)
+	for _, n := range o.Nodes() {
+		for _, f := range n.Fanins {
+			out[f] = append(out[f], n.Name)
+		}
+	}
+	return out
+}
+
+// Levels returns per-signal logic depths and the maximum PO depth under the
+// overlay, mirroring Network.Levels.
+func (o *Overlay) Levels() (map[string]int, int) {
+	pis := o.PIs()
+	lv := make(map[string]int, o.NumNodes()+len(pis))
+	for _, pi := range pis {
+		lv[pi] = 0
+	}
+	for _, name := range o.TopoOrder() {
+		n := o.Node(name)
+		d := 0
+		for _, f := range n.Fanins {
+			if lv[f] >= d {
+				d = lv[f] + 1
+			}
+		}
+		if len(n.Fanins) == 0 {
+			d = 0
+		}
+		lv[name] = d
+	}
+	max := 0
+	for _, po := range o.POs() {
+		if lv[po] > max {
+			max = lv[po]
+		}
+	}
+	return lv, max
+}
+
+// FactoredLits returns the factored-form literal total of the overlay view.
+func (o *Overlay) FactoredLits() int {
+	n := 0
+	for _, nd := range o.Nodes() {
+		n += algebraic.FactorLits(nd.Cover)
+	}
+	return n
+}
+
+// Sigs returns nil: like a clone, an overlay is a speculative scratch view
+// and carries no signature table (Network.Clone drops it for the same
+// reason).
+func (o *Overlay) Sigs() *SigTable { return nil }
+
+// Cones returns nil — see Sigs.
+func (o *Overlay) Cones() *ConeTable { return nil }
+
+// FreshName generates an unused signal name with the given prefix against
+// the overlay's name space (deleted base names count as free, exactly as
+// they would on a mutated clone).
+func (o *Overlay) FreshName(prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if o.Node(name) == nil && !o.IsPI(name) {
+			return name
+		}
+	}
+}
+
+// Clone materializes the overlay into a private *Network: a clone of the
+// base with the delta applied — byte-identical (node bodies and creation
+// order included) to cloning the base first and replaying the overlay's
+// mutations on the clone.
+func (o *Overlay) Clone() *Network {
+	c := o.base.Clone()
+	for _, name := range o.changed {
+		n := o.nodes[name]
+		if n == nil {
+			c.RemoveNode(name)
+			continue
+		}
+		// Replaced nodes keep their creation-order slot; install directly
+		// (the overlay already validated the rewrite).
+		c.nodes[name] = n.Clone()
+	}
+	for _, name := range o.added {
+		c.nodes[name] = o.nodes[name].Clone()
+		c.order = append(c.order, name)
+	}
+	return c
+}
+
+// touch registers name as a modified base node (first touch only) and
+// returns the delta body to mutate, copying the base node on first touch.
+func (o *Overlay) touch(name string) *Node {
+	if n, ok := o.nodes[name]; ok {
+		return n // nil for deleted: callers check first
+	}
+	n := o.base.Node(name).Clone()
+	o.nodes[name] = n
+	o.changed = append(o.changed, name)
+	return n
+}
+
+// AddNode installs a new node on the overlay, with Network.AddNode's
+// validation (duplicate signals, repeated fanins, cover space).
+func (o *Overlay) AddNode(name string, fanins []string, cover cube.Cover) *Node {
+	if cover.NumVars() != len(fanins) {
+		panic(fmt.Sprintf("network: node %q cover space %d != fanins %d", name, cover.NumVars(), len(fanins)))
+	}
+	if _, touched := o.nodes[name]; touched {
+		// A non-nil entry is a live duplicate; re-adding a name the overlay
+		// deleted would need order-slot bookkeeping no trial performs.
+		panic(fmt.Sprintf("network: overlay duplicate or re-added signal %q", name))
+	}
+	if o.base.Node(name) != nil || o.IsPI(name) {
+		panic(fmt.Sprintf("network: duplicate signal %q", name))
+	}
+	seen := map[string]bool{}
+	for _, f := range fanins {
+		if seen[f] {
+			panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+		}
+		seen[f] = true
+	}
+	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
+	o.nodes[name] = n
+	o.added = append(o.added, name)
+	return n
+}
+
+// RemoveNode deletes the node driving name from the overlay view. Removing
+// an unknown name is a no-op (as on Network); removing a node added on the
+// overlay itself is unsupported.
+func (o *Overlay) RemoveNode(name string) {
+	if o.Node(name) == nil {
+		return
+	}
+	if o.isAdded(name) {
+		panic(fmt.Sprintf("network: overlay cannot remove its own addition %q", name))
+	}
+	if _, touched := o.nodes[name]; !touched {
+		o.changed = append(o.changed, name)
+	}
+	o.nodes[name] = nil
+	o.dels++
+}
+
+// ReplaceNodeFunction rewrites node name on the overlay with a new fanin
+// list and cover, with Network.ReplaceNodeFunction's cycle refusal evaluated
+// against the overlay view.
+func (o *Overlay) ReplaceNodeFunction(name string, fanins []string, cover cube.Cover) error {
+	if o.Node(name) == nil {
+		return fmt.Errorf("network: no node %q", name)
+	}
+	if cover.NumVars() != len(fanins) {
+		return fmt.Errorf("network: cover space mismatch for %q", name)
+	}
+	for _, f := range fanins {
+		if f == name {
+			return fmt.Errorf("network: self-loop on %q", name)
+		}
+		if o.DependsOn(f, name) {
+			return fmt.Errorf("network: fanin %q of %q would create a cycle", f, name)
+		}
+	}
+	n := o.touch(name)
+	n.Fanins = append([]string(nil), fanins...)
+	n.Cover = cover
+	return nil
+}
+
+// SetNodeCover replaces node name's cover in place, keeping its fanin list
+// (the RAR extraction step: redundancy removal only deletes literals, so the
+// variable space is unchanged).
+func (o *Overlay) SetNodeCover(name string, cover cube.Cover) {
+	n := o.Node(name)
+	if n == nil {
+		panic(fmt.Sprintf("network: no node %q", name))
+	}
+	if cover.NumVars() != len(n.Fanins) {
+		panic(fmt.Sprintf("network: cover space mismatch for %q", name))
+	}
+	o.touch(name).Cover = cover
+}
+
+// NormalizeNode drops fanins that no longer appear in node name's cover,
+// mirroring Network.NormalizeNode on the overlay view.
+func (o *Overlay) NormalizeNode(name string) {
+	n := o.Node(name)
+	if n == nil {
+		return
+	}
+	used := n.Cover.Support()
+	if len(used) == len(n.Fanins) {
+		return
+	}
+	idx := make(map[int]int, len(used))
+	newFanins := make([]string, 0, len(used))
+	for newV, oldV := range used {
+		idx[oldV] = newV
+		newFanins = append(newFanins, n.Fanins[oldV])
+	}
+	nc := cube.NewCover(len(used))
+	for _, c := range n.Cover.Cubes {
+		k := cube.New(len(used))
+		for _, v := range c.Lits() {
+			k.Set(idx[v], c.Get(v))
+		}
+		nc.Add(k)
+	}
+	t := o.touch(name)
+	t.Fanins = newFanins
+	t.Cover = nc
+}
+
+// Added returns the nodes created on the overlay, in creation order. The
+// returned nodes are the overlay's own delta bodies (the overlay is
+// discarded after delta extraction).
+func (o *Overlay) Added() []*Node {
+	out := make([]*Node, 0, len(o.added))
+	for _, name := range o.added {
+		if n := o.nodes[name]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Changed returns the base nodes the overlay replaced, in first-touch order
+// (deletions are excluded — see Deleted).
+func (o *Overlay) Changed() []*Node {
+	out := make([]*Node, 0, len(o.changed))
+	for _, name := range o.changed {
+		if n := o.nodes[name]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Deleted returns the base node names the overlay removed, in first-touch
+// order.
+func (o *Overlay) Deleted() []string {
+	var out []string
+	for _, name := range o.changed {
+		if o.nodes[name] == nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ApplyTo commits the overlay's delta to dst: additions first (in creation
+// order, so replacement bodies may reference them), then replacements (in
+// first-touch order), then deletions. When dst is the overlay's base in the
+// state the overlay was created over — the plan/commit engine's invariant —
+// the result is byte-identical to dst.CopyFrom(o.Clone()), including the
+// node creation order, while only marking the touched signals dirty in dst's
+// signature/cone tables. An application error means dst diverged from the
+// base state; the caller treats that as an engine bug.
+func (o *Overlay) ApplyTo(dst *Network) error {
+	for _, name := range o.added {
+		n := o.nodes[name]
+		dst.AddNode(name, n.Fanins, n.Cover)
+	}
+	for _, name := range o.changed {
+		n := o.nodes[name]
+		if n == nil {
+			dst.RemoveNode(name)
+			continue
+		}
+		if err := dst.ReplaceNodeFunction(name, n.Fanins, n.Cover); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compile-time check: *Overlay is a Reader.
+var _ Reader = (*Overlay)(nil)
