@@ -14,12 +14,14 @@
 package repro_test
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/algebraic"
 	"repro/internal/atpg"
 	"repro/internal/bdd"
 	"repro/internal/bench"
+	"repro/internal/blif"
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/exp"
@@ -683,6 +685,53 @@ func BenchmarkSubstituteTrialCache(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkNodeLookup compares the two node-resolution paths of the
+// dense-ID core on the committed 10k-gate circuit
+// (testdata/custom_64_10000_1.blif, regenerate with
+// `blifgen -gates 10000 -pi 64 -seed 1`): "name" resolves every node
+// through the symbol table (map lookup, the parse/print-boundary path),
+// "id" walks the same nodes by SigID (slice index, the engine hot path).
+// The ID path beating the name path is the refactor's acceptance bar.
+func BenchmarkNodeLookup(b *testing.B) {
+	data, err := os.ReadFile("testdata/custom_64_10000_1.blif")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := blif.ParseString(string(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := nw.TopoOrder()
+	ids := nw.TopoOrderIDs()
+	b.Run("name", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, name := range names {
+				total += len(nw.Node(name).Fanins)
+			}
+			if total == 0 {
+				b.Fatal("lookup regressed")
+			}
+		}
+	})
+	b.Run("id", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, id := range ids {
+				if nw.NodeByID(id) == nil {
+					b.Fatal("lookup regressed")
+				}
+				total += len(nw.FaninIDsOf(id))
+			}
+			if total == 0 {
+				b.Fatal("lookup regressed")
+			}
+		}
+	})
 }
 
 // BenchmarkSubstituteSigFilter measures the simulation-signature divisor

@@ -38,6 +38,6 @@ go test -run '^$' -fuzz '^FuzzOverlayReadEquivalence$' -fuzztime=5s ./internal/n
 # thresholds than ns/op: allocation counts are near-deterministic here, so
 # drift means the engine's allocation behavior actually changed.
 go build -o /tmp/benchreg.ci ./cmd/benchreg
-go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$' -benchtime 1x -benchmem . \
+go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$|BenchmarkNodeLookup$' -benchtime 1x -benchmem . \
   | /tmp/benchreg.ci -emit /tmp/BENCH_substitute.json
 /tmp/benchreg.ci -compare testdata/bench/BENCH_substitute.json /tmp/BENCH_substitute.json

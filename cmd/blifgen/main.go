@@ -1,9 +1,15 @@
 // Command blifgen dumps the embedded benchmark suite as BLIF files so the
-// circuits can be inspected or fed to other tools.
+// circuits can be inspected or fed to other tools, and generates seeded
+// large random circuits for scalability work beyond the toy suite.
 //
 // Usage:
 //
 //	blifgen [-dir out] [-list] [name ...]
+//	blifgen [-dir out] -gates n [-pi n] [-seed s]
+//
+// With -gates, blifgen emits one reconvergent random-logic circuit of the
+// requested size (bench.Custom) named custom_<pi>_<gates>_<seed>.blif; the
+// generator is fully seeded, so a committed file regenerates byte-identical.
 package main
 
 import (
@@ -14,11 +20,15 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/blif"
+	"repro/internal/network"
 )
 
 func main() {
 	dir := flag.String("dir", ".", "output directory")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	gates := flag.Int("gates", 0, "generate one random circuit with this many gates (0 = dump suite)")
+	npi := flag.Int("pi", 64, "primary-input count for -gates")
+	seed := flag.Int64("seed", 1, "generator seed for -gates")
 	flag.Parse()
 
 	if *list {
@@ -27,27 +37,35 @@ func main() {
 		}
 		return
 	}
-	names := flag.Args()
-	if len(names) == 0 {
-		names = bench.Names()
-	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "blifgen:", err)
 		os.Exit(1)
 	}
-	for _, name := range names {
-		nw := bench.Get(name)
-		path := filepath.Join(*dir, name+".blif")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "blifgen:", err)
-			os.Exit(1)
-		}
-		if err := blif.Write(f, nw); err != nil {
-			fmt.Fprintln(os.Stderr, "blifgen:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("%s: %d PI, %d PO, %d nodes\n", path, len(nw.PIs()), len(nw.POs()), nw.NumNodes())
+	if *gates > 0 {
+		nw := bench.Custom(*npi, *gates, *seed)
+		emit(*dir, fmt.Sprintf("custom_%d_%d_%d", *npi, *gates, *seed), nw)
+		return
 	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	for _, name := range names {
+		emit(*dir, name, bench.Get(name))
+	}
+}
+
+func emit(dir, name string, nw *network.Network) {
+	path := filepath.Join(dir, name+".blif")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blifgen:", err)
+		os.Exit(1)
+	}
+	if err := blif.Write(f, nw); err != nil {
+		fmt.Fprintln(os.Stderr, "blifgen:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("%s: %d PI, %d PO, %d nodes\n", path, len(nw.PIs()), len(nw.POs()), nw.NumNodes())
 }

@@ -12,7 +12,9 @@
 //   - internal/cube — positional-notation cubes and covers
 //   - internal/mini — Espresso-style and exact two-level minimization
 //   - internal/algebraic — weak division, kernels, factoring
-//   - internal/network — the multilevel Boolean network
+//   - internal/network — the multilevel Boolean network (dense-ID core:
+//     slice-backed storage indexed by interned SigIDs, names only at the
+//     BLIF boundary)
 //   - internal/netlist — the gate-level two-level AND–OR decomposition
 //   - internal/atpg — implications, untestability, PODEM, fault simulation
 //   - internal/core — the paper's division and substitution algorithms

@@ -38,9 +38,14 @@ var Analyzer = &analysis.Analyzer{
 
 // frozenMethods are the Reader methods whose results alias live network
 // state (Nodes returns fresh slices of live *Node; the rest return the
-// live slices/objects themselves). Everything else on Reader returns
-// per-call copies.
-var frozenMethods = map[string]bool{"Node": true, "Nodes": true, "PIs": true, "POs": true}
+// live slices/objects themselves). The dense-ID accessors NodeByID and
+// FaninIDsOf alias too: NodeByID hands out the live *Node and FaninIDsOf
+// shares the network's fanin-ID slice for untouched nodes. Everything else
+// on Reader (TopoOrderIDs included) returns per-call copies.
+var frozenMethods = map[string]bool{
+	"Node": true, "Nodes": true, "PIs": true, "POs": true,
+	"NodeByID": true, "FaninIDsOf": true,
+}
 
 // readOnlyPtrMethods are pointer-receiver methods safe to call on frozen
 // values: they read but do not write their receiver.

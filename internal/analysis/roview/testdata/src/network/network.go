@@ -73,4 +73,22 @@ type Reader interface {
 	POs() []string
 	// Clone deep-copies into a private mutable network.
 	Clone() *Network
+	// NodeByID returns the node driving signal id (aliases live state).
+	NodeByID(id SigID) *Node
+	// FaninIDsOf returns the live fanin-ID slice of node id.
+	FaninIDsOf(id SigID) []SigID
+	// TopoOrderIDs returns a fresh per-call slice of IDs.
+	TopoOrderIDs() []SigID
 }
+
+// SigID is the dense signal identity (fixture mirror).
+type SigID int32
+
+// NodeByID returns the node driving signal id (aliases live state).
+func (nw *Network) NodeByID(id SigID) *Node { return nil }
+
+// FaninIDsOf returns the live fanin-ID slice of node id.
+func (nw *Network) FaninIDsOf(id SigID) []SigID { return nil }
+
+// TopoOrderIDs returns a fresh per-call slice of IDs.
+func (nw *Network) TopoOrderIDs() []SigID { return nil }

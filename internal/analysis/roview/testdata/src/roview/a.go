@@ -54,3 +54,17 @@ func rebind(r network.Reader) {
 	n.Name = "ok" // n now holds a private clone: no finding
 	_ = n
 }
+
+// badIDs mutates through the dense-ID accessors.
+func badIDs(r network.Reader) {
+	r.NodeByID(3).Name = "g" // want "write through a network.Reader view"
+	ids := r.FaninIDsOf(3)
+	ids[0] = 7 // want "write through a network.Reader view"
+}
+
+// goodIDs: TopoOrderIDs hands out a per-call copy, safe to reorder.
+func goodIDs(r network.Reader) {
+	order := r.TopoOrderIDs()
+	order[0] = 1 // fresh slice: no finding
+	_ = r.FaninIDsOf(2)[0]
+}

@@ -88,6 +88,14 @@ func Parse(r io.Reader) (*network.Network, error) {
 				if err := validName(f); err != nil {
 					return nil, err
 				}
+				// Pre-check: AddPO panics on duplicates (an invariant
+				// violation for programmatic construction), but malformed
+				// input must come back as an error.
+				for _, po := range nw.POs() {
+					if po == f {
+						return nil, fmt.Errorf("blif: duplicate output %q", f)
+					}
+				}
 				nw.AddPO(f)
 			}
 			flush()

@@ -3,9 +3,12 @@ package blif
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
+	"repro/internal/network"
 	"repro/internal/verify"
 )
 
@@ -126,6 +129,75 @@ func TestParseErrors(t *testing.T) {
 	// Undriven output should fail Check.
 	if _, err := ParseString(".model x\n.inputs a\n.outputs f\n.end"); err == nil {
 		t.Error("undriven PO accepted")
+	}
+	// Duplicate outputs must come back as a parse error (AddPO panics on
+	// programmatic duplicates; malformed input must never panic).
+	dup := ".model x\n.inputs a\n.outputs f f\n.names a f\n1 1\n.end"
+	if _, err := ParseString(dup); err == nil || !strings.Contains(err.Error(), "duplicate output") {
+		t.Errorf("duplicate .outputs: got %v, want duplicate-output error", err)
+	}
+	dupSplit := ".model x\n.inputs a\n.outputs f\n.outputs f\n.names a f\n1 1\n.end"
+	if _, err := ParseString(dupSplit); err == nil || !strings.Contains(err.Error(), "duplicate output") {
+		t.Errorf("repeated .outputs line: got %v, want duplicate-output error", err)
+	}
+}
+
+// TestPrintParsePrintFixpoint is the symbol-table round-trip property: the
+// printed form is a fixpoint of parse∘print, byte for byte. The dense-ID
+// core keeps names only in the SymTab at the parse/print boundary, so any
+// drift in interning, creation order, or PI/PO bookkeeping shows up here as
+// a byte diff. Runs over the committed testdata circuits (the 10k-gate
+// generated one included), the embedded benchmark suite, and the checked-in
+// fuzz corpus.
+func TestPrintParsePrintFixpoint(t *testing.T) {
+	roundTrip := func(t *testing.T, label string, nw *network.Network) {
+		t.Helper()
+		out1 := ToString(nw)
+		back, err := ParseString(out1)
+		if err != nil {
+			t.Errorf("%s: reparse of printed form failed: %v", label, err)
+			return
+		}
+		if out2 := ToString(back); out2 != out1 {
+			t.Errorf("%s: print∘parse is not a fixpoint (lengths %d vs %d)", label, len(out1), len(out2))
+		}
+	}
+	files, _ := filepath.Glob("../../testdata/*.blif")
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		roundTrip(t, path, nw)
+	}
+	for _, nw := range bench.Suite() {
+		roundTrip(t, "bench:"+nw.Name, nw)
+	}
+	// Fuzz corpus entries are Go corpus files: a version line, then one
+	// quoted string argument per line. Inputs the parser rejects are fine —
+	// the property only binds what Parse accepts.
+	corpus, _ := filepath.Glob("testdata/fuzz/FuzzParse/*")
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "string(") {
+				continue
+			}
+			src, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "string("), ")"))
+			if err != nil {
+				continue
+			}
+			if nw, err := ParseString(src); err == nil {
+				roundTrip(t, path, nw)
+			}
+		}
 	}
 }
 

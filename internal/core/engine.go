@@ -388,6 +388,10 @@ type planResult struct {
 	// planPair never ran, but p/ok are byte-identical to what it would have
 	// produced, so the slot still counts as a divisor trial in the stats.
 	cached bool
+	// collided marks a cache hit rejected by the Options.Audit structural
+	// fingerprint cross-check (two distinct cones on one cache key); the
+	// trial then ran for real and overwrote the colliding entry.
+	collided bool
 }
 
 // evaluator fans planPair calls over a bounded worker pool. Each worker
@@ -427,7 +431,10 @@ func newEvaluator(workers int) *evaluator {
 // so the worker that runs the trial can store the outcome. With one worker
 // (or one surviving candidate) the evaluation is inlined — no goroutines,
 // identical to the historical serial driver including allocation behavior.
-func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt Options, sf *simSigFilter, tc *TrialCache) []planResult {
+// plans takes the live network concretely (not as a Reader): the trial
+// cache key derivation and the audit fingerprints both need the cone
+// machinery only *Network carries, and every caller holds the live network.
+func (ev *evaluator) plans(nw *network.Network, f string, cands []candidate, opt Options, sf *simSigFilter, tc *TrialCache) []planResult {
 	for _, sc := range ev.scratches {
 		sc.epoch = ev.epoch
 	}
@@ -439,6 +446,21 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 		keys = make([]trialKey, len(cands))
 		keyOK = make([]bool, len(cands))
 	}
+	// Under Options.Audit every cache hit is collision-checked against an
+	// independently seeded structural fingerprint of the two cones (see
+	// network.ConeFingerprint): a 128-bit cache-key collision would replay
+	// the wrong verdict, and the byte-level auditCachedHit replay below
+	// would then panic on an honest hash accident. The fingerprint check
+	// runs first and degrades a mismatch to a real trial instead.
+	var fings [][2]network.ConeHash
+	var fingOK []bool
+	var fFing network.ConeHash
+	auditFing := tc != nil && opt.Audit
+	if auditFing {
+		fings = make([][2]network.ConeHash, len(cands))
+		fingOK = make([]bool, len(cands))
+		fFing = nw.ConeFingerprint(f)
+	}
 	ct := nw.Cones()
 	for i, c := range cands {
 		if !sf.admits(c) {
@@ -447,8 +469,14 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 		}
 		if tc != nil {
 			if k, ok := trialCacheKey(ct, f, c, opt); ok {
+				if auditFing {
+					fings[i] = [2]network.ConeHash{fFing, nw.ConeFingerprint(c.name)}
+					fingOK[i] = true
+				}
 				if e, hit := tc.lookup(k); hit {
-					if p, pOK, usable := e.replay(nw, f, c.name, opt.NoOverlay); usable {
+					if fingOK != nil && fingOK[i] && e.hasFing && e.fing != fings[i] {
+						res[i].collided = true // fall through to a real trial
+					} else if p, pOK, usable := e.replay(nw, f, c.name, opt.NoOverlay); usable {
 						if opt.Audit {
 							auditCachedHit(ev.scratches[0], nw, f, c, opt, p, pOK)
 						}
@@ -468,7 +496,12 @@ func (ev *evaluator) plans(nw network.Reader, f string, cands []candidate, opt O
 	runOne := func(sc *scratch, i int) {
 		res[i].p, res[i].ok = planPair(sc, nw, f, cands[i], opt)
 		if tc != nil && keyOK[i] {
-			tc.store(keys[i], res[i].p, res[i].ok)
+			var fg [2]network.ConeHash
+			hasFg := fingOK != nil && fingOK[i]
+			if hasFg {
+				fg = fings[i]
+			}
+			tc.store(keys[i], res[i].p, res[i].ok, fg, hasFg)
 		}
 	}
 	if ev.workers == 1 || len(todo) <= 1 {

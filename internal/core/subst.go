@@ -132,6 +132,14 @@ type Stats struct {
 	// (ConeTable.Refresh's changed count): the number of structural keys
 	// each commit killed, 0 for the initial hash computation.
 	CacheHits, CacheMisses, CacheInvalidated int
+	// CacheCollisions counts trial-cache hits rejected under Options.Audit
+	// because the entry's structural cone fingerprint (an independently
+	// seeded recomputation — network.ConeFingerprint) disagreed with the
+	// current cones: two distinct cones folded onto one 128-bit cache key.
+	// The colliding hit degrades to a real trial, so a collision costs
+	// correctness nothing; a nonzero count is the signal that the cone-hash
+	// width is being stressed.
+	CacheCollisions int
 	// ComplCacheHits/ComplCacheMisses count memoized complement-cover
 	// lookups (POS and complement-phase filtering).
 	ComplCacheHits, ComplCacheMisses int
@@ -164,6 +172,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheInvalidated += o.CacheInvalidated
+	s.CacheCollisions += o.CacheCollisions
 	s.ComplCacheHits += o.ComplCacheHits
 	s.ComplCacheMisses += o.ComplCacheMisses
 	s.Passes += o.Passes
@@ -388,6 +397,9 @@ func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter, cacheOn b
 				st.CacheHits++
 			} else {
 				st.CacheMisses++
+				if r.collided {
+					st.CacheCollisions++
+				}
 			}
 		}
 		if sf != nil {

@@ -109,6 +109,14 @@ type trialEntry struct {
 	dec     bool
 	removed int
 
+	// fing, when hasFing is set, holds the independently seeded structural
+	// fingerprints of the dividend's and divisor's cones at store time
+	// (network.ConeFingerprint). Recorded only when the storing run had
+	// Options.Audit on; hits under Audit compare it against the current
+	// cones to unmask 128-bit key collisions (Stats.CacheCollisions).
+	fing    [2]network.ConeHash
+	hasFing bool
+
 	// Node-function rewrite (isWork false, ok true).
 	newFanins []string
 	newCover  cube.Cover
@@ -142,8 +150,10 @@ func (tc *TrialCache) lookup(k trialKey) (*trialEntry, bool) {
 // store memoizes one planPair outcome. Everything reachable from the plan
 // is deep-copied: the plan's slices and covers go on to be committed into
 // the live network, and a cache entry must never alias live structure.
-func (tc *TrialCache) store(k trialKey, p plan, ok bool) {
-	e := &trialEntry{ok: ok}
+// fing/hasFing carry the audit-mode cone fingerprints (zero/false when the
+// run is not auditing).
+func (tc *TrialCache) store(k trialKey, p plan, ok bool, fing [2]network.ConeHash, hasFing bool) {
+	e := &trialEntry{ok: ok, fing: fing, hasFing: hasFing}
 	if ok {
 		e.gain = p.gain
 		e.pos = p.pos

@@ -147,6 +147,57 @@ func TestTrialCacheAuditCatchesCorruption(t *testing.T) {
 	Substitute(base.Clone(), opt)
 }
 
+// TestTrialCacheAuditFingerprintCollision drives the structural-fingerprint
+// collision check: an entry whose stored cone fingerprint disagrees with the
+// current cones (exactly what a 128-bit key collision looks like from the
+// inside) must degrade to a real trial and be counted in CacheCollisions —
+// not replayed, and not treated as corruption (no audit panic).
+func TestTrialCacheAuditFingerprintCollision(t *testing.T) {
+	r := rand.New(rand.NewSource(8642))
+	base := randomDAG(r, 5, 10)
+	tc := NewTrialCache()
+	opt := Options{Config: Extended, POS: true, TrialCache: tc, MaxPasses: 1, Audit: true}
+	if st := Substitute(base.Clone(), opt); st.CacheMisses == 0 {
+		t.Fatal("populating run recorded no trials")
+	}
+
+	// Flip every stored fingerprint: from the next run's viewpoint each key
+	// now maps to an entry proven on a structurally different cone pair.
+	poisoned := 0
+	for i := range tc.shards {
+		s := &tc.shards[i]
+		for _, e := range s.m {
+			if !e.hasFing {
+				t.Fatal("audit-mode store left an entry without a fingerprint")
+			}
+			e.fing[0][0] ^= 1
+			poisoned++
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("populating run stored no entries")
+	}
+
+	second := base.Clone()
+	st := Substitute(second, opt)
+	if st.CacheCollisions == 0 {
+		t.Error("poisoned fingerprints produced no recorded collisions")
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("poisoned entries were still replayed: %d hits", st.CacheHits)
+	}
+
+	// Collisions must cost nothing but the replays: the committed result is
+	// byte-identical to a cache-free run.
+	off := base.Clone()
+	optOff := opt
+	optOff.TrialCache, optOff.NoTrialCache = nil, true
+	Substitute(off, optOff)
+	if a, b := blif.ToString(second), blif.ToString(off); a != b {
+		t.Error("collision fallback committed a different network than the uncached run")
+	}
+}
+
 // TestTrialCacheKeyStability: the fingerprint separates what must be
 // separated (dividend, divisor, form, config) and ignores nothing that
 // steers a trial.

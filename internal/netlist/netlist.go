@@ -210,17 +210,45 @@ func FromNetwork(nw network.Reader) *Build {
 }
 
 // Builder rebuilds netlists from networks while recycling all scratch
-// memory between builds: the gate arena, per-gate fanin/fanout arrays, and
-// the name/inverter maps survive from one Build call to the next. A Builder
-// is owned by exactly one worker at a time — it is not safe for concurrent
-// use, and a Build result is invalidated by the next Build call on the same
-// Builder.
+// memory between builds: the gate arena, per-gate fanin/fanout arrays, the
+// name/inverter maps, and the SigID-indexed signal→gate arena survive from
+// one Build call to the next. A Builder is owned by exactly one worker at a
+// time — it is not safe for concurrent use, and a Build result is
+// invalidated by the next Build call on the same Builder.
 type Builder struct {
 	build Build
+	// sigGate[id] is the gate driving network signal id in the CURRENT build
+	// (valid only where sigEpoch[id] == epoch). The epoch tag makes per-build
+	// invalidation O(1) instead of an O(signals) clear, and the dense-ID
+	// index replaces the per-literal name-map lookup on the hot path — the
+	// Signal map is kept for the name-keyed consumers at the boundary.
+	sigGate  []int32
+	sigEpoch []uint32
+	epoch    uint32
 }
 
 // NewBuilder returns an empty Builder ready for its first Build call.
 func NewBuilder() *Builder { return &Builder{} }
+
+// setGate binds signal id to gate g for the current build.
+func (b *Builder) setGate(id network.SigID, g int) {
+	for int(id) >= len(b.sigGate) {
+		b.sigGate = append(b.sigGate, 0)
+		b.sigEpoch = append(b.sigEpoch, 0)
+	}
+	b.sigGate[id] = int32(g)
+	b.sigEpoch[id] = b.epoch
+}
+
+// gateAt resolves signal id to its gate in the current build. An unbound id
+// (undriven fanin) resolves to gate 0, matching the historical missing-map
+// read.
+func (b *Builder) gateAt(id network.SigID) int {
+	if int(id) < len(b.sigEpoch) && b.sigEpoch[id] == b.epoch {
+		return int(b.sigGate[id])
+	}
+	return 0
+}
 
 // Build decomposes the network into the canonical two-level netlist exactly
 // like FromNetwork, reusing the arenas of the previous Build. The returned
@@ -234,16 +262,25 @@ func (b *Builder) Build(nw network.Reader) *Build {
 		b.build.NL.Reset()
 		clear(b.build.Nodes)
 	}
+	b.epoch++
+	if b.epoch == 0 { // wraparound: stale tags could collide, reset them all
+		clear(b.sigEpoch)
+		b.epoch = 1
+	}
 	nl := b.build.NL
 	for _, pi := range nw.PIs() {
-		nl.AddInput(pi)
+		g := nl.AddInput(pi)
+		if id, ok := nw.IDOf(pi); ok {
+			b.setGate(id, g)
+		}
 	}
-	for _, name := range nw.TopoOrder() {
-		n := nw.Node(name)
-		ng := b.build.buildNode(n)
-		nl.gates[ng.Out].name = name
-		nl.Signal[name] = ng.Out
-		b.build.Nodes[name] = ng
+	for _, id := range nw.TopoOrderIDs() {
+		n := nw.NodeByID(id)
+		ng := b.buildNode(n, nw.FaninIDsOf(id))
+		nl.gates[ng.Out].name = n.Name
+		nl.Signal[n.Name] = ng.Out
+		b.build.Nodes[n.Name] = ng
+		b.setGate(id, ng.Out)
 	}
 	for _, po := range nw.POs() {
 		g, ok := nl.Signal[po]
@@ -257,16 +294,17 @@ func (b *Builder) Build(nw network.Reader) *Build {
 	return &b.build
 }
 
-// buildNode creates the canonical AND-OR structure for one node.
-func (b *Build) buildNode(n *network.Node) *NodeGates {
-	nl := b.NL
+// buildNode creates the canonical AND-OR structure for one node, resolving
+// fanins through the dense-ID arena (fids is parallel to n.Fanins).
+func (b *Builder) buildNode(n *network.Node, fids []network.SigID) *NodeGates {
+	nl := b.build.NL
 	ng := &NodeGates{}
 	for _, c := range n.Cover.Cubes {
 		lits := c.Lits()
 		pins := make([]int, 0, len(lits))
 		var fan []int
 		for _, v := range lits {
-			src := nl.Signal[n.Fanins[v]]
+			src := b.gateAt(fids[v])
 			if c.Get(v) == cube.Neg {
 				src = nl.Invert(src)
 			}

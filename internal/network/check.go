@@ -3,14 +3,14 @@ package network
 // Runtime structural checker: the dynamic half of the invariant suite
 // (internal/analysis is the static half). Check audits everything the
 // engine's correctness argument leans on — acyclicity, name uniqueness,
-// cover canonicity, order/nodes agreement, signature-table consistency —
-// and returns the first violation. blif.Parse runs it on every parsed
-// network, the fuzz harness runs it on every corpus input, and the engine
-// runs it after every committed substitution when Options.Audit is set.
+// cover canonicity, order/defs agreement, symbol-table/fanin-ID lockstep,
+// signature-table consistency — and returns the first violation. blif.Parse
+// runs it on every parsed network, the fuzz harness runs it on every corpus
+// input, and the engine runs it after every committed substitution when
+// Options.Audit is set.
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -18,9 +18,13 @@ import (
 //
 //   - primary input names are unique and never doubly driven by a node
 //   - primary outputs are unique and driven by a PI or node
+//   - the symbol table and the ID-indexed slices agree: defs/piMark/faninIDs
+//     span the whole ID space, PI/PO name slices mirror their ID slices
 //   - every live node appears exactly once in the creation order and its
-//     Name matches its map key (so Nodes() is a faithful enumeration)
-//   - fanins are distinct and driven
+//     Name matches its interned name (so Nodes() is a faithful enumeration)
+//   - fanins are distinct and driven, and each node's fanin-ID slice is the
+//     element-wise interning of its Fanins (the name-face/ID-core lockstep
+//     every ID-path consumer leans on)
 //   - covers are canonical: the cover's variable space matches the fanin
 //     list and no cube is empty or sized to a different space
 //   - the node graph is acyclic (explicit DFS — a cycle is reported as an
@@ -30,45 +34,84 @@ import (
 //
 // It returns the first violation found, or nil.
 func (nw *Network) Check() error {
+	if len(nw.defs) != nw.sym.Len() || len(nw.piMark) != nw.sym.Len() || len(nw.faninIDs) != nw.sym.Len() {
+		return fmt.Errorf("network %q: ID slices span %d/%d/%d signals, symbol table %d",
+			nw.Name, len(nw.defs), len(nw.piMark), len(nw.faninIDs), nw.sym.Len())
+	}
+	if len(nw.piNames) != len(nw.pis) {
+		return fmt.Errorf("network %q: %d PI names for %d PI ids", nw.Name, len(nw.piNames), len(nw.pis))
+	}
+	if len(nw.poNames) != len(nw.posIDs) {
+		return fmt.Errorf("network %q: %d PO names for %d PO ids", nw.Name, len(nw.poNames), len(nw.posIDs))
+	}
+
 	seenPI := make(map[string]bool, len(nw.pis))
-	for _, pi := range nw.pis {
+	for i, id := range nw.pis {
+		pi := nw.piNames[i]
+		if got, ok := nw.sym.Lookup(pi); !ok || got != id {
+			return fmt.Errorf("network %q: primary input %q not interned at its ID", nw.Name, pi)
+		}
+		if !nw.piMark[id] {
+			return fmt.Errorf("network %q: primary input %q not marked as PI", nw.Name, pi)
+		}
 		if seenPI[pi] {
 			return fmt.Errorf("network %q: duplicate primary input %q", nw.Name, pi)
 		}
 		seenPI[pi] = true
-		if nw.nodes[pi] != nil {
+		if nw.defs[id] != nil {
 			return fmt.Errorf("network %q: signal %q is both a primary input and a node", nw.Name, pi)
 		}
 	}
+	for id, marked := range nw.piMark {
+		if marked {
+			found := false
+			for _, pi := range nw.pis {
+				if pi == SigID(id) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("network %q: signal %q marked as PI but absent from the PI list", nw.Name, nw.sym.Name(SigID(id)))
+			}
+		}
+	}
 
-	seenPO := make(map[string]bool, len(nw.pos))
-	for _, po := range nw.pos {
+	seenPO := make(map[string]bool, len(nw.posIDs))
+	for i, id := range nw.posIDs {
+		po := nw.poNames[i]
+		if got, ok := nw.sym.Lookup(po); !ok || got != id {
+			return fmt.Errorf("network %q: primary output %q not interned at its ID", nw.Name, po)
+		}
 		if seenPO[po] {
 			return fmt.Errorf("network %q: duplicate primary output %q", nw.Name, po)
 		}
 		seenPO[po] = true
-		if !seenPI[po] && nw.nodes[po] == nil {
+		if !nw.piMark[id] && nw.defs[id] == nil {
 			return fmt.Errorf("network %q: undriven primary output %q", nw.Name, po)
 		}
 	}
 
 	// Nodes() walks nw.order, so a node that is missing from the order (or
 	// listed twice after a remove/re-add) silently skews every enumeration.
-	orderCount := make(map[string]int, len(nw.order))
-	for _, name := range nw.order {
-		if nw.nodes[name] != nil {
-			orderCount[name]++
+	orderCount := make([]int, nw.sym.Len())
+	for _, id := range nw.order {
+		if int(id) >= nw.sym.Len() {
+			return fmt.Errorf("network %q: creation order holds out-of-range id %d", nw.Name, id)
+		}
+		if nw.defs[id] != nil {
+			orderCount[id]++
 		}
 	}
-	for _, name := range nw.SortedNodeNames() {
-		n := nw.nodes[name]
+	for id, n := range nw.defs {
 		if n == nil {
-			return fmt.Errorf("network %q: nil node entry %q", nw.Name, name)
+			continue
 		}
+		name := nw.sym.Name(SigID(id))
 		if n.Name != name {
 			return fmt.Errorf("network %q: node keyed %q carries name %q", nw.Name, name, n.Name)
 		}
-		if c := orderCount[name]; c != 1 {
+		if c := orderCount[id]; c != 1 {
 			return fmt.Errorf("network %q: node %q appears %d times in the creation order, want 1", nw.Name, name, c)
 		}
 	}
@@ -88,18 +131,27 @@ func (nw *Network) Check() error {
 	return nw.checkCones()
 }
 
-// checkNode audits one node's fanin list and cover canonicity.
+// checkNode audits one node's fanin list, fanin-ID lockstep, and cover
+// canonicity.
 func (nw *Network) checkNode(n *Node, isPI map[string]bool) error {
 	if n.Cover.NumVars() != len(n.Fanins) {
 		return fmt.Errorf("network %q: node %q: cover space %d != %d fanins", nw.Name, n.Name, n.Cover.NumVars(), len(n.Fanins))
 	}
+	id, _ := nw.sym.Lookup(n.Name)
+	fids := nw.faninIDs[id]
+	if len(fids) != len(n.Fanins) {
+		return fmt.Errorf("network %q: node %q: %d fanin ids for %d fanins", nw.Name, n.Name, len(fids), len(n.Fanins))
+	}
 	seen := make(map[string]bool, len(n.Fanins))
-	for _, f := range n.Fanins {
+	for i, f := range n.Fanins {
+		if fid, ok := nw.sym.Lookup(f); !ok || fid != fids[i] {
+			return fmt.Errorf("network %q: node %q: fanin %q id mismatch (slot %d holds %d)", nw.Name, n.Name, f, i, fids[i])
+		}
 		if seen[f] {
 			return fmt.Errorf("network %q: node %q: repeated fanin %q", nw.Name, n.Name, f)
 		}
 		seen[f] = true
-		if !isPI[f] && nw.nodes[f] == nil {
+		if !isPI[f] && nw.Node(f) == nil {
 			return fmt.Errorf("network %q: node %q: undriven fanin %q", nw.Name, n.Name, f)
 		}
 	}
@@ -125,11 +177,11 @@ func (nw *Network) checkAcyclic() error {
 		visiting  = 1
 		done      = 2
 	)
-	state := make(map[string]int, len(nw.nodes))
+	state := make(map[string]int, nw.NumNodes())
 	var path []string
 	var visit func(name string) error
 	visit = func(name string) error {
-		n := nw.nodes[name]
+		n := nw.Node(name)
 		if n == nil {
 			return nil // PI or dangling reference; checkNode reports the latter
 		}
@@ -179,58 +231,51 @@ func (nw *Network) checkSigs() error {
 	if t == nil {
 		return nil
 	}
-	for _, pi := range nw.pis {
-		if _, ok := t.pi[pi]; !ok {
-			return fmt.Errorf("network %q: sig table missing primary input %q", nw.Name, pi)
+	for i := range nw.pis {
+		if i >= len(t.piPat) {
+			return fmt.Errorf("network %q: sig table missing primary input %q", nw.Name, nw.piNames[i])
 		}
 	}
-	if t.allDirty || len(t.dirty) > 0 {
+	if t.allDirty || len(t.dirtyList) > 0 {
 		return nil
 	}
 	// Clean table: stored signatures must cover exactly the computable
 	// nodes and agree with a fresh evaluation over their fanins.
-	names := make([]string, 0, len(t.sig))
-	//bdslint:ignore maporder keys collected then sorted before use
-	for name := range t.sig {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if nw.nodes[name] == nil {
-			return fmt.Errorf("network %q: sig table holds removed node %q", nw.Name, name)
+	for id := range t.known {
+		if t.known[id] && !nw.piMark[id] && nw.defs[id] == nil {
+			return fmt.Errorf("network %q: sig table holds removed node %q", nw.Name, nw.sym.Name(SigID(id)))
 		}
 	}
-	val := make(map[string]uint64, 8)
-	for _, name := range nw.TopoOrder() {
-		n := nw.nodes[name]
+	val := make([]uint64, nw.sym.Len())
+	for _, id := range nw.TopoOrderIDs() {
+		n := nw.defs[id]
+		fids := nw.faninIDs[id]
 		var want Signature
 		computable := true
 		for w := 0; w < SigWords && computable; w++ {
-			clear(val)
-			for _, f := range n.Fanins {
-				fs, ok := t.lookup(f)
-				if !ok {
+			for _, f := range fids {
+				if int(f) >= len(t.known) || !t.known[f] {
 					computable = false
 					break
 				}
-				val[f] = fs[w]
+				val[f] = t.sig[f][w]
 			}
 			if computable {
-				want[w] = evalCoverWords(n.Cover, n.Fanins, val)
+				want[w] = evalCoverIDs(n.Cover, fids, val)
 			}
 		}
-		got, ok := t.sig[name]
+		ok := int(id) < len(t.known) && t.known[id]
 		if !computable {
 			if ok {
-				return fmt.Errorf("network %q: sig table holds uncomputable node %q", nw.Name, name)
+				return fmt.Errorf("network %q: sig table holds uncomputable node %q", nw.Name, n.Name)
 			}
 			continue
 		}
 		if !ok {
-			return fmt.Errorf("network %q: sig table missing node %q while clean", nw.Name, name)
+			return fmt.Errorf("network %q: sig table missing node %q while clean", nw.Name, n.Name)
 		}
-		if got != want {
-			return fmt.Errorf("network %q: stale signature for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, name, got, want)
+		if t.sig[id] != want {
+			return fmt.Errorf("network %q: stale signature for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, n.Name, t.sig[id], want)
 		}
 	}
 	return nil
@@ -249,27 +294,20 @@ func (nw *Network) checkCones() error {
 	if t == nil {
 		return nil
 	}
-	if t.allDirty || len(t.dirty) > 0 {
+	if t.allDirty || len(t.dirtyList) > 0 {
 		return nil
 	}
-	names := make([]string, 0, len(t.h))
-	//bdslint:ignore maporder keys collected then sorted before use
-	for name := range t.h {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if nw.nodes[name] == nil {
-			return fmt.Errorf("network %q: cone table holds removed node %q", nw.Name, name)
+	for id := range t.known {
+		if t.known[id] && !nw.piMark[id] && nw.defs[id] == nil {
+			return fmt.Errorf("network %q: cone table holds removed node %q", nw.Name, nw.sym.Name(SigID(id)))
 		}
 	}
-	for _, name := range nw.TopoOrder() {
-		got, ok := t.h[name]
-		if !ok {
-			return fmt.Errorf("network %q: cone table missing node %q while clean", nw.Name, name)
+	for _, id := range nw.TopoOrderIDs() {
+		if int(id) >= len(t.known) || !t.known[id] {
+			return fmt.Errorf("network %q: cone table missing node %q while clean", nw.Name, nw.defs[id].Name)
 		}
-		if want := t.compute(nw.nodes[name]); got != want {
-			return fmt.Errorf("network %q: stale cone hash for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, name, got, want)
+		if want := t.compute(id, nw.defs[id]); t.h[id] != want {
+			return fmt.Errorf("network %q: stale cone hash for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, nw.defs[id].Name, t.h[id], want)
 		}
 	}
 	net := t.net

@@ -25,64 +25,101 @@ func corrupt(t *testing.T, want string, breakIt func(nw *Network)) {
 	}
 }
 
+// mustID resolves a name the test knows is interned.
+func mustID(t *testing.T, nw *Network, name string) SigID {
+	t.Helper()
+	id, ok := nw.IDOf(name)
+	if !ok {
+		t.Fatalf("signal %q not interned", name)
+	}
+	return id
+}
+
 func TestCheckDuplicatePI(t *testing.T) {
 	corrupt(t, "duplicate primary input", func(nw *Network) {
-		nw.pis = append(nw.pis, "a")
+		nw.pis = append(nw.pis, nw.pis[0])
+		nw.piNames = append(nw.piNames, nw.piNames[0])
 	})
 }
 
 func TestCheckDuplicatePO(t *testing.T) {
 	corrupt(t, "duplicate primary output", func(nw *Network) {
-		nw.pos = append(nw.pos, "f")
+		nw.posIDs = append(nw.posIDs, nw.posIDs[0])
+		nw.poNames = append(nw.poNames, nw.poNames[0])
 	})
 }
 
 func TestCheckUndrivenPO(t *testing.T) {
 	corrupt(t, "undriven primary output", func(nw *Network) {
-		nw.pos = append(nw.pos, "ghost")
+		nw.posIDs = append(nw.posIDs, nw.intern("ghost"))
+		nw.poNames = append(nw.poNames, "ghost")
 	})
 }
 
 func TestCheckNodeNameMismatch(t *testing.T) {
 	corrupt(t, "carries name", func(nw *Network) {
-		nw.nodes["g"].Name = "h"
+		nw.Node("g").Name = "h"
 	})
 }
 
 func TestCheckOrderDrift(t *testing.T) {
-	// A node present in the map but missing from the creation order would
+	// A node present in the storage but missing from the creation order would
 	// vanish from Nodes() — every enumeration-based pass would skip it.
 	corrupt(t, "creation order", func(nw *Network) {
 		nw.order = nw.order[1:]
 	})
 	corrupt(t, "creation order", func(nw *Network) {
-		nw.order = append(nw.order, "g")
+		nw.order = append(nw.order, mustID(t, nw, "g"))
+	})
+}
+
+func TestCheckFaninIDDrift(t *testing.T) {
+	// The name face and the ID core must agree slot for slot; a faninIDs
+	// entry pointing at a different signal than the Fanins string would send
+	// the ID-path consumers (netlist build, signature refresh) to the wrong
+	// driver.
+	corrupt(t, "id mismatch", func(nw *Network) {
+		fid := mustID(t, nw, "f")
+		ids := append([]SigID(nil), nw.faninIDs[fid]...)
+		ids[0] = mustID(t, nw, "a")
+		nw.faninIDs[fid] = ids
+	})
+	corrupt(t, "fanin ids", func(nw *Network) {
+		fid := mustID(t, nw, "f")
+		nw.faninIDs[fid] = nw.faninIDs[fid][:1]
 	})
 }
 
 func TestCheckRepeatedFanin(t *testing.T) {
 	corrupt(t, "repeated fanin", func(nw *Network) {
-		n := nw.nodes["f"]
+		n := nw.Node("f")
+		g := mustID(t, nw, "g")
 		n.Fanins = []string{"g", "g"}
+		nw.faninIDs[mustID(t, nw, "f")] = []SigID{g, g}
 	})
 }
 
 func TestCheckUndrivenFanin(t *testing.T) {
 	corrupt(t, "undriven fanin", func(nw *Network) {
-		nw.nodes["f"].Fanins[1] = "ghost"
+		fid := mustID(t, nw, "f")
+		n := nw.Node("f")
+		n.Fanins[1] = "ghost"
+		ids := append([]SigID(nil), nw.faninIDs[fid]...)
+		ids[1] = nw.intern("ghost")
+		nw.faninIDs[fid] = ids
 	})
 }
 
 func TestCheckCoverSpaceMismatch(t *testing.T) {
 	corrupt(t, "cover space", func(nw *Network) {
-		n := nw.nodes["f"]
+		n := nw.Node("f")
 		n.Fanins = append(n.Fanins, "a")
 	})
 }
 
 func TestCheckEmptyCube(t *testing.T) {
 	corrupt(t, "non-canonical", func(nw *Network) {
-		n := nw.nodes["g"]
+		n := nw.Node("g")
 		c := cube.New(2)
 		c.Set(0, cube.Empty)
 		n.Cover.Cubes = append(n.Cover.Cubes, c)
@@ -94,8 +131,10 @@ func TestCheckCycle(t *testing.T) {
 	// cycle as an error (the old checker swallowed the TopoOrder panic via
 	// recover and reported the network clean).
 	corrupt(t, "combinational cycle", func(nw *Network) {
-		n := nw.nodes["g"]
+		gid := mustID(t, nw, "g")
+		n := nw.Node("g")
 		n.Fanins = []string{"a", "f"}
+		nw.faninIDs[gid] = []SigID{mustID(t, nw, "a"), mustID(t, nw, "f")}
 	})
 }
 
@@ -104,26 +143,26 @@ func TestCheckSigTableStale(t *testing.T) {
 	// evaluation means some edit path missed markDirty — the divisor
 	// prefilter would silently run on stale simulation data.
 	corrupt(t, "stale signature", func(nw *Network) {
-		t := nw.EnableSigs()
-		t.Refresh()
-		s := t.sig["g"]
-		s[0] ^= 1
-		t.sig["g"] = s
+		tab := nw.EnableSigs()
+		tab.Refresh()
+		tab.sig[mustID(t, nw, "g")][0] ^= 1
 	})
 }
 
 func TestCheckSigTableRemovedNode(t *testing.T) {
 	corrupt(t, "removed node", func(nw *Network) {
-		t := nw.EnableSigs()
-		t.Refresh()
-		t.sig["zombie"] = Signature{}
+		tab := nw.EnableSigs()
+		tab.Refresh()
+		id := nw.intern("zombie")
+		tab.grow()
+		tab.known[id] = true
 	})
 }
 
 func TestCheckSigTableMissingPI(t *testing.T) {
 	corrupt(t, "missing primary input", func(nw *Network) {
-		t := nw.EnableSigs()
-		delete(t.pi, "a")
+		tab := nw.EnableSigs()
+		tab.piPat = tab.piPat[:0]
 	})
 }
 
@@ -133,10 +172,9 @@ func TestCheckSigTableDirtySkipsDeepAudit(t *testing.T) {
 	nw := buildSmall()
 	tab := nw.EnableSigs()
 	tab.Refresh()
-	s := tab.sig["g"]
-	s[0] ^= 1
-	tab.sig["g"] = s
-	tab.markDirty("g")
+	gid := mustID(t, nw, "g")
+	tab.sig[gid][0] ^= 1
+	tab.markDirty(gid)
 	if err := nw.Check(); err != nil {
 		t.Fatalf("Check flagged a stale-but-dirty signature: %v", err)
 	}

@@ -13,7 +13,11 @@ package network
 //
 // Hashes are maintained incrementally, mirroring SigTable: structural edits
 // mark the rewritten signal dirty, and Refresh recomputes the dirty closure
-// (dirty signals plus transitive fanout) in topological order.
+// (dirty signals plus transitive fanout) in topological order. Storage is a
+// flat SigID-indexed array; the hash itself deliberately keeps absorbing
+// NAMES, not IDs — IDs are creation-order dependent, and the cone hash must
+// stay invariant under node creation order (see below) and stable across
+// clones whose symbol tables interned names in different sequences.
 //
 // Node creation order is deliberately NOT hashed: two networks built from
 // the same nodes in different AddNode orders carry identical cone hashes
@@ -86,19 +90,24 @@ const (
 	tagUndriven
 	tagNode
 	tagNet
+	// tagFinger seeds the independent ConeFingerprint domain (strash.go);
+	// three consecutive tags are reserved for its PI/undriven/node kinds.
+	tagFinger
 )
 
-// ConeTable holds the per-signal cone hashes of one network. Ownership
-// mirrors SigTable: all recomputation happens in the serial Refresh, so
-// between a Refresh and the next mutation any number of goroutines may call
-// Hash/NetHash concurrently (pure map reads). Clones of the network do not
-// carry the table.
+// ConeTable holds the per-signal cone hashes of one network in a flat
+// SigID-indexed array. Ownership mirrors SigTable: all recomputation
+// happens in the serial Refresh, so between a Refresh and the next mutation
+// any number of goroutines may call Hash/NetHash concurrently (pure slice
+// reads). Clones of the network do not carry the table.
 type ConeTable struct {
-	nw       *Network
-	h        map[string]ConeHash // node cone hashes (clean entries only)
-	dirty    map[string]bool     // signals whose function changed since Refresh
-	allDirty bool                // whole-network rewrite (CopyFrom): recompute all
-	net      ConeHash            // order-sensitive whole-network digest
+	nw        *Network
+	h         []ConeHash // node cone hashes by SigID (valid where known)
+	known     []bool     // by SigID: hash present and clean
+	dirtyMark []bool     // by SigID: function changed since Refresh
+	dirtyList []SigID    // the marked IDs, in marking order
+	allDirty  bool       // whole-network rewrite (CopyFrom): recompute all
+	net       ConeHash   // order-sensitive whole-network digest
 }
 
 // EnableCones attaches (or returns the already attached, refreshed) cone
@@ -108,12 +117,7 @@ func (nw *Network) EnableCones() *ConeTable {
 		nw.cones.Refresh()
 		return nw.cones
 	}
-	t := &ConeTable{
-		nw:       nw,
-		h:        make(map[string]ConeHash, len(nw.nodes)),
-		dirty:    make(map[string]bool),
-		allDirty: true,
-	}
+	t := &ConeTable{nw: nw, allDirty: true}
 	nw.cones = t
 	t.Refresh()
 	return t
@@ -128,19 +132,40 @@ func (nw *Network) DisableCones() { nw.cones = nil }
 // calls the table's read methods are pure.
 func (nw *Network) Cones() *ConeTable { return nw.cones }
 
-// markDirty records that name's function changed. O(1); the transitive
+// grow extends the ID-indexed slices to the current symbol-table size.
+func (t *ConeTable) grow() {
+	n := t.nw.sym.Len()
+	for len(t.h) < n {
+		t.h = append(t.h, ConeHash{})
+		t.known = append(t.known, false)
+	}
+	for len(t.dirtyMark) < n {
+		t.dirtyMark = append(t.dirtyMark, false)
+	}
+}
+
+// markDirty records that id's function changed. O(1); the transitive
 // fanout is resolved at Refresh time against the then-current graph.
-func (t *ConeTable) markDirty(name string) {
+func (t *ConeTable) markDirty(id SigID) {
 	if t.allDirty {
 		return
 	}
-	t.dirty[name] = true
+	t.grow()
+	if !t.dirtyMark[id] {
+		t.dirtyMark[id] = true
+		t.dirtyList = append(t.dirtyList, id)
+	}
 }
 
 // markAllDirty records a whole-network rewrite.
 func (t *ConeTable) markAllDirty() {
 	t.allDirty = true
-	t.dirty = make(map[string]bool)
+	for _, id := range t.dirtyList {
+		if int(id) < len(t.dirtyMark) {
+			t.dirtyMark[id] = false
+		}
+	}
+	t.dirtyList = t.dirtyList[:0]
 }
 
 // piHash is the cone hash of a primary input — a pure function of the
@@ -164,13 +189,17 @@ func undrivenHash(name string) ConeHash {
 // signal poisons the whole table, because a stale transitive-fanout entry
 // is indistinguishable from a clean one).
 func (t *ConeTable) Hash(name string) (ConeHash, bool) {
-	if t.allDirty || len(t.dirty) > 0 {
+	if t.allDirty || len(t.dirtyList) > 0 {
 		return ConeHash{}, false
 	}
-	if h, ok := t.h[name]; ok {
-		return h, true
+	id, ok := t.nw.sym.Lookup(name)
+	if !ok {
+		return ConeHash{}, false
 	}
-	if t.nw.isPI(name) {
+	if int(id) < len(t.known) && t.known[id] {
+		return t.h[id], true
+	}
+	if t.nw.piMark[id] {
 		return piHash(name), true
 	}
 	return ConeHash{}, false
@@ -180,7 +209,7 @@ func (t *ConeTable) Hash(name string) (ConeHash, bool) {
 // cone hash folded in creation order, plus the PI and PO lists. Any
 // committed rewrite changes it. ok=false while an edit is pending.
 func (t *ConeTable) NetHash() (ConeHash, bool) {
-	if t.allDirty || len(t.dirty) > 0 {
+	if t.allDirty || len(t.dirtyList) > 0 {
 		return ConeHash{}, false
 	}
 	return t.net, true
@@ -188,26 +217,27 @@ func (t *ConeTable) NetHash() (ConeHash, bool) {
 
 // lookup reads a hash during recomputation, ignoring dirty marks (the topo
 // walk guarantees fanins are recomputed before their fanouts).
-func (t *ConeTable) lookup(name string) ConeHash {
-	if h, ok := t.h[name]; ok {
-		return h
+func (t *ConeTable) lookup(id SigID) ConeHash {
+	if t.known[id] {
+		return t.h[id]
 	}
-	if t.nw.isPI(name) {
-		return piHash(name)
+	if t.nw.piMark[id] {
+		return piHash(t.nw.sym.Name(id))
 	}
-	return undrivenHash(name)
+	return undrivenHash(t.nw.sym.Name(id))
 }
 
 // compute derives one node's cone hash from its own structure and its
 // fanins' (already clean) hashes: name, fanin list with per-fanin cone
 // hashes, and the exact cover cubes in cover order.
-func (t *ConeTable) compute(n *Node) ConeHash {
+func (t *ConeTable) compute(id SigID, n *Node) ConeHash {
 	d := newConeDigest(tagNode)
 	d.str(n.Name)
 	d.word(uint64(len(n.Fanins)))
-	for _, f := range n.Fanins {
+	fids := t.nw.faninIDs[id]
+	for i, f := range n.Fanins {
 		d.str(f)
-		d.hash(t.lookup(f))
+		d.hash(t.lookup(fids[i]))
 	}
 	d.word(uint64(n.Cover.NumVars()))
 	d.word(uint64(n.Cover.NumCubes()))
@@ -230,22 +260,22 @@ func (t *ConeTable) compute(n *Node) ConeHash {
 // are not counted.
 func (t *ConeTable) Refresh() int {
 	nw := t.nw
-	if !t.allDirty && len(t.dirty) == 0 {
+	if !t.allDirty && len(t.dirtyList) == 0 {
 		return 0
 	}
-	need := make(map[string]bool)
+	t.grow()
+	need := make([]bool, nw.sym.Len())
 	if t.allDirty {
-		//bdslint:ignore maporder order-invisible set fill: need gains every node regardless of order
-		for name := range nw.nodes {
-			need[name] = true
+		for _, id := range nw.order {
+			if nw.defs[id] != nil {
+				need[id] = true
+			}
 		}
 	} else {
-		fanouts := nw.Fanouts()
-		stack := make([]string, 0, len(t.dirty))
-		//bdslint:ignore maporder order-invisible closure seed: the walk computes a set, and recomputation below runs in topo order
-		for name := range t.dirty {
-			need[name] = true
-			stack = append(stack, name)
+		fanouts := nw.FanoutIDs()
+		stack := append([]SigID(nil), t.dirtyList...)
+		for _, id := range t.dirtyList {
+			need[id] = true
 		}
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
@@ -257,33 +287,35 @@ func (t *ConeTable) Refresh() int {
 				}
 			}
 		}
-		//bdslint:ignore maporder order-invisible set fill: membership test plus insert, entries independent
-		for name := range nw.nodes {
-			if _, ok := t.h[name]; !ok {
-				need[name] = true
+		for _, id := range nw.order {
+			if nw.defs[id] != nil && !t.known[id] {
+				need[id] = true
 			}
 		}
 	}
 	invalidated := 0
-	for _, name := range nw.TopoOrder() {
-		if !need[name] {
+	for _, id := range nw.TopoOrderIDs() {
+		if !need[id] {
 			continue
 		}
-		h := t.compute(nw.nodes[name])
-		if old, ok := t.h[name]; ok && old != h {
+		h := t.compute(id, nw.defs[id])
+		if t.known[id] && t.h[id] != h {
 			invalidated++
 		}
-		t.h[name] = h
+		t.h[id] = h
+		t.known[id] = true
 	}
 	// Drop hashes of removed nodes.
-	//bdslint:ignore maporder order-invisible sweep: entries are tested and deleted independently
-	for name := range t.h {
-		if nw.nodes[name] == nil {
-			delete(t.h, name)
+	for id := range t.known {
+		if t.known[id] && !nw.piMark[id] && nw.defs[id] == nil {
+			t.known[id] = false
 			invalidated++
 		}
 	}
-	t.dirty = make(map[string]bool)
+	for _, id := range t.dirtyList {
+		t.dirtyMark[id] = false
+	}
+	t.dirtyList = t.dirtyList[:0]
 	t.allDirty = false
 	t.refoldNet()
 	return invalidated
@@ -294,19 +326,19 @@ func (t *ConeTable) Refresh() int {
 func (t *ConeTable) refoldNet() {
 	nw := t.nw
 	d := newConeDigest(tagNet)
-	for _, name := range nw.order {
-		if nw.nodes[name] == nil {
+	for _, id := range nw.order {
+		if nw.defs[id] == nil {
 			continue
 		}
-		d.str(name)
-		d.hash(t.h[name])
+		d.str(nw.sym.Name(id))
+		d.hash(t.h[id])
 	}
 	d.word(uint64(len(nw.pis)))
-	for _, pi := range nw.pis {
+	for _, pi := range nw.piNames {
 		d.str(pi)
 	}
-	d.word(uint64(len(nw.pos)))
-	for _, po := range nw.pos {
+	d.word(uint64(len(nw.posIDs)))
+	for _, po := range nw.poNames {
 		d.str(po)
 	}
 	t.net = d.sum()

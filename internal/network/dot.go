@@ -12,15 +12,15 @@ import (
 func (nw *Network) WriteDot(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", nw.Name)
-	for _, pi := range nw.pis {
+	for _, pi := range nw.piNames {
 		fmt.Fprintf(&b, "  %q [shape=plaintext];\n", pi)
 	}
-	isPO := make(map[string]bool, len(nw.pos))
-	for _, po := range nw.pos {
+	isPO := make(map[string]bool, len(nw.poNames))
+	for _, po := range nw.poNames {
 		isPO[po] = true
 	}
 	for _, name := range nw.TopoOrder() {
-		n := nw.nodes[name]
+		n := nw.Node(name)
 		shape := "box"
 		if isPO[name] {
 			shape = "box, peripheries=2"

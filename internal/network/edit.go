@@ -9,8 +9,12 @@ import (
 // literals of inner are replaced by inner's cover, negative literals by its
 // complement. Returns false if outer does not reference inner.
 func (nw *Network) Compose(outer, inner string) bool {
-	o := nw.nodes[outer]
-	in := nw.nodes[inner]
+	oid, ook := nw.sym.Lookup(outer)
+	iid, iok := nw.sym.Lookup(inner)
+	if !ook || !iok {
+		return false
+	}
+	o, in := nw.defs[oid], nw.defs[iid]
 	if o == nil || in == nil {
 		return false
 	}
@@ -69,14 +73,13 @@ func (nw *Network) Compose(outer, inner string) bool {
 			out.Cubes = append(out.Cubes, base)
 		}
 	}
-	o.Fanins = newFanins
-	o.Cover = out.SCC()
+	nw.setNodeFunc(oid, o, newFanins, out.SCC())
 	nw.NormalizeNode(outer)
 	if nw.sigs != nil {
-		nw.sigs.markDirty(outer)
+		nw.sigs.markDirty(oid)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(outer)
+		nw.cones.markDirty(oid)
 	}
 	return true
 }
@@ -129,25 +132,23 @@ func (nw *Network) Sweep() int {
 		}
 
 		// 2. Dead-node elimination.
-		live := make(map[string]bool)
-		var mark func(string)
-		mark = func(s string) {
-			if live[s] || nw.isPI(s) {
+		live := make([]bool, nw.sym.Len())
+		var mark func(SigID)
+		mark = func(id SigID) {
+			if live[id] || nw.piMark[id] {
 				return
 			}
-			live[s] = true
-			if n := nw.nodes[s]; n != nil {
-				for _, f := range n.Fanins {
-					mark(f)
-				}
+			live[id] = true
+			for _, f := range nw.faninIDs[id] {
+				mark(f)
 			}
 		}
-		for _, po := range nw.pos {
+		for _, po := range nw.posIDs {
 			mark(po)
 		}
-		for _, n := range nw.Nodes() {
-			if !live[n.Name] {
-				nw.RemoveNode(n.Name)
+		for _, id := range nw.order {
+			if nw.defs[id] != nil && !live[id] {
+				nw.RemoveNode(nw.sym.Name(id))
 				removed++
 				changed = true
 			}
@@ -190,7 +191,11 @@ func (nw *Network) propagateSimple(n *Node) bool {
 // false when the rewiring would create a combinational cycle or the node
 // does not use old.
 func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
-	n := nw.nodes[name]
+	id, ok := nw.sym.Lookup(name)
+	if !ok {
+		return false
+	}
+	n := nw.defs[id]
 	if n == nil {
 		return false
 	}
@@ -252,14 +257,13 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 			out.Cubes = append(out.Cubes, k)
 		}
 	}
-	n.Fanins = newFanins
-	n.Cover = out.SCC()
+	nw.setNodeFunc(id, n, newFanins, out.SCC())
 	nw.NormalizeNode(name)
 	if nw.sigs != nil {
-		nw.sigs.markDirty(name)
+		nw.sigs.markDirty(id)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 	return true
 }
@@ -270,12 +274,12 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 // fanout covers (positive or negative). Nodes driving POs get value +∞
 // (never auto-eliminated) unless allowPO.
 func (nw *Network) Value(name string, allowPO bool) int {
-	n := nw.nodes[name]
+	n := nw.Node(name)
 	if n == nil {
 		return 1 << 30
 	}
 	if !allowPO {
-		for _, po := range nw.pos {
+		for _, po := range nw.poNames {
 			if po == name {
 				return 1 << 30
 			}
@@ -310,7 +314,7 @@ func (nw *Network) Eliminate(threshold int) int {
 		best := threshold + 1
 		for _, name := range nw.SortedNodeNames() {
 			isPO := false
-			for _, po := range nw.pos {
+			for _, po := range nw.poNames {
 				if po == name {
 					isPO = true
 					break

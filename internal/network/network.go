@@ -1,8 +1,14 @@
 // Package network implements the multilevel Boolean network on which all
-// optimization operates: named nodes carrying local sum-of-product covers
-// over their fanin signals, primary inputs and outputs, structural editing
+// optimization operates: nodes carrying local sum-of-product covers over
+// their fanin signals, primary inputs and outputs, structural editing
 // (substitution, collapsing, sweeping), 64-way parallel simulation, and the
 // SOP/factored literal statistics the paper reports.
+//
+// The core is dense-ID: every signal name is interned once into a SymTab
+// and all storage — node bodies, fanin lists, iteration order, signature
+// and cone tables — is slice-backed, indexed by SigID. Strings survive only
+// on the Node's public face (Name/Fanins) and at the BLIF parse/print
+// boundary; every graph walk inside the package runs on integer IDs.
 package network
 
 import (
@@ -15,7 +21,9 @@ import (
 )
 
 // Node is an internal node: a local SOP over its fanin signals. Variable i
-// of the cover corresponds to Fanins[i].
+// of the cover corresponds to Fanins[i]. Name and Fanins are the node's
+// boundary face; the owning network keeps the parallel fanin-ID list (see
+// Network.FaninIDsOf), so code outside the package never re-resolves names.
 type Node struct {
 	Name   string
 	Fanins []string
@@ -39,33 +47,85 @@ func (n *Node) FaninIndex(s string) int {
 	return -1
 }
 
-// Network is a combinational multilevel Boolean network.
+// Network is a combinational multilevel Boolean network with dense-ID,
+// slice-backed storage. The invariant tying the slices together: sym
+// assigns every seen name a SigID; defs, piMark and faninIDs are indexed by
+// SigID and always sym.Len() long; order lists node-creation IDs (stale
+// entries of removed nodes are skipped on iteration, exactly like the
+// name-keyed core skipped deleted map entries).
+//
+// faninIDs slices are immutable once installed: every mutator installs a
+// freshly built slice instead of editing in place, so Clone can share them
+// with the original (copy-on-write at the granularity of one fanin list).
 type Network struct {
-	Name  string
-	pis   []string
-	pos   []string
-	nodes map[string]*Node
-	order []string   // node creation order, for deterministic iteration
-	sigs  *SigTable  // simulation signatures (nil unless EnableSigs), see sig.go
-	cones *ConeTable // structural cone hashes (nil unless EnableCones), see conehash.go
+	Name     string
+	sym      *SymTab
+	defs     []*Node   // by SigID; nil for PIs, undriven names, removed nodes
+	piMark   []bool    // by SigID
+	faninIDs [][]SigID // by SigID, parallel to defs[id].Fanins; immutable slices
+	pis      []SigID
+	piNames  []string // parallel to pis (the PIs() boundary slice)
+	posIDs   []SigID
+	poNames  []string   // parallel to posIDs (the POs() boundary slice)
+	order    []SigID    // node creation order, for deterministic iteration
+	sigs     *SigTable  // simulation signatures (nil unless EnableSigs), see sig.go
+	cones    *ConeTable // structural cone hashes (nil unless EnableCones), see conehash.go
 }
 
 // New creates an empty network.
 func New(name string) *Network {
-	return &Network{Name: name, nodes: make(map[string]*Node)}
+	return &Network{Name: name, sym: NewSymTab()}
+}
+
+// intern assigns (or returns) the dense ID of name and grows the ID-indexed
+// slices to cover it.
+func (nw *Network) intern(name string) SigID {
+	id := nw.sym.Intern(name)
+	for len(nw.defs) < nw.sym.Len() {
+		nw.defs = append(nw.defs, nil)
+		nw.piMark = append(nw.piMark, false)
+		nw.faninIDs = append(nw.faninIDs, nil)
+	}
+	return id
+}
+
+// internFanins interns every fanin name into a freshly allocated ID slice.
+func (nw *Network) internFanins(fanins []string) []SigID {
+	if len(fanins) == 0 {
+		return nil
+	}
+	ids := make([]SigID, len(fanins))
+	for i, f := range fanins {
+		ids[i] = nw.intern(f)
+	}
+	return ids
 }
 
 // AddPI declares a primary input signal.
 func (nw *Network) AddPI(name string) {
-	if nw.nodes[name] != nil || nw.isPI(name) {
+	id := nw.intern(name)
+	if nw.defs[id] != nil || nw.piMark[id] {
 		panic(fmt.Sprintf("network: duplicate signal %q", name))
 	}
-	nw.pis = append(nw.pis, name)
+	nw.piMark[id] = true
+	nw.pis = append(nw.pis, id)
+	nw.piNames = append(nw.piNames, name)
 }
 
 // AddPO declares signal name as a primary output. The signal must exist (PI
-// or node) by the time the network is used.
-func (nw *Network) AddPO(name string) { nw.pos = append(nw.pos, name) }
+// or node) by the time the network is used. Declaring the same output twice
+// panics, mirroring AddPI/AddNode (network.Check reports the same violation
+// on networks assembled another way).
+func (nw *Network) AddPO(name string) {
+	id := nw.intern(name)
+	for _, po := range nw.posIDs {
+		if po == id {
+			panic(fmt.Sprintf("network: duplicate primary output %q", name))
+		}
+	}
+	nw.posIDs = append(nw.posIDs, id)
+	nw.poNames = append(nw.poNames, name)
+}
 
 // AddNode installs a node computing cover over fanins. Fanins must be
 // distinct; the cover's variable space must match len(fanins).
@@ -73,42 +133,49 @@ func (nw *Network) AddNode(name string, fanins []string, cover cube.Cover) *Node
 	if cover.NumVars() != len(fanins) {
 		panic(fmt.Sprintf("network: node %q cover space %d != fanins %d", name, cover.NumVars(), len(fanins)))
 	}
-	if nw.nodes[name] != nil || nw.isPI(name) {
+	id := nw.intern(name)
+	if nw.defs[id] != nil || nw.piMark[id] {
 		panic(fmt.Sprintf("network: duplicate signal %q", name))
 	}
-	seen := map[string]bool{}
-	for _, f := range fanins {
-		if seen[f] {
-			panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+	for i, f := range fanins {
+		for j := 0; j < i; j++ {
+			if fanins[j] == f {
+				panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+			}
 		}
-		seen[f] = true
 	}
 	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
-	nw.nodes[name] = n
-	nw.order = append(nw.order, name)
+	nw.defs[id] = n
+	nw.faninIDs[id] = nw.internFanins(fanins)
+	nw.order = append(nw.order, id)
 	if nw.sigs != nil {
-		nw.sigs.markDirty(name)
+		nw.sigs.markDirty(id)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 	return n
 }
 
 // PIs returns the primary input names (do not modify).
-func (nw *Network) PIs() []string { return nw.pis }
+func (nw *Network) PIs() []string { return nw.piNames }
 
 // POs returns the primary output signal names (do not modify).
-func (nw *Network) POs() []string { return nw.pos }
+func (nw *Network) POs() []string { return nw.poNames }
 
 // Node returns the node driving signal name, or nil for PIs/unknown.
-func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+func (nw *Network) Node(name string) *Node {
+	if id, ok := nw.sym.Lookup(name); ok {
+		return nw.defs[id]
+	}
+	return nil
+}
 
 // Nodes returns all nodes in deterministic (creation) order.
 func (nw *Network) Nodes() []*Node {
-	out := make([]*Node, 0, len(nw.nodes))
-	for _, name := range nw.order {
-		if n := nw.nodes[name]; n != nil {
+	out := make([]*Node, 0, len(nw.order))
+	for _, id := range nw.order {
+		if n := nw.defs[id]; n != nil {
 			out = append(out, n)
 		}
 	}
@@ -116,13 +183,19 @@ func (nw *Network) Nodes() []*Node {
 }
 
 // NumNodes returns the internal node count.
-func (nw *Network) NumNodes() int { return len(nw.nodes) }
+func (nw *Network) NumNodes() int {
+	c := 0
+	for _, id := range nw.order {
+		if nw.defs[id] != nil {
+			c++
+		}
+	}
+	return c
+}
 
 func (nw *Network) isPI(name string) bool {
-	for _, p := range nw.pis {
-		if p == name {
-			return true
-		}
+	if id, ok := nw.sym.Lookup(name); ok {
+		return nw.piMark[id]
 	}
 	return false
 }
@@ -130,29 +203,87 @@ func (nw *Network) isPI(name string) bool {
 // IsPI reports whether name is a primary input.
 func (nw *Network) IsPI(name string) bool { return nw.isPI(name) }
 
+// --- Dense-ID surface -------------------------------------------------
+
+// NumSigs returns the size of the dense ID space (every name ever interned:
+// PIs, nodes, undriven references, removed nodes).
+func (nw *Network) NumSigs() int { return nw.sym.Len() }
+
+// IDOf returns the dense ID of name; ok=false when the name has never been
+// interned. A pure probe: it never extends the ID space.
+func (nw *Network) IDOf(name string) (SigID, bool) { return nw.sym.Lookup(name) }
+
+// SigName returns the name bound to id.
+func (nw *Network) SigName(id SigID) string { return nw.sym.Name(id) }
+
+// NodeByID returns the node driving signal id, or nil (read-only).
+func (nw *Network) NodeByID(id SigID) *Node { return nw.defs[id] }
+
+// IsPIID reports whether id is a primary input.
+func (nw *Network) IsPIID(id SigID) bool { return nw.piMark[id] }
+
+// FaninIDsOf returns node id's fanin IDs, parallel to its Fanins slice (do
+// not modify — the slice is shared with clones). Nil for PIs/unknown.
+func (nw *Network) FaninIDsOf(id SigID) []SigID { return nw.faninIDs[id] }
+
+// OrderIDs returns the live node IDs in creation order.
+func (nw *Network) OrderIDs() []SigID {
+	out := make([]SigID, 0, len(nw.order))
+	for _, id := range nw.order {
+		if nw.defs[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// PIIDs returns the primary input IDs in declaration order (do not modify).
+func (nw *Network) PIIDs() []SigID { return nw.pis }
+
+// POIDs returns the primary output IDs in declaration order (do not
+// modify).
+func (nw *Network) POIDs() []SigID { return nw.posIDs }
+
 // RemoveNode deletes the node driving name. The caller must ensure nothing
-// references it (Sweep does this in bulk).
+// references it (Sweep does this in bulk). The name stays interned: its ID
+// is still valid (NodeByID reports nil) and a later AddNode may rebind it.
 func (nw *Network) RemoveNode(name string) {
-	delete(nw.nodes, name)
+	id, ok := nw.sym.Lookup(name)
+	if !ok {
+		return
+	}
+	nw.defs[id] = nil
+	nw.faninIDs[id] = nil
 	if nw.sigs != nil {
-		nw.sigs.markDirty(name)
+		nw.sigs.markDirty(id)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 }
 
 // Clone deep-copies the network. The signature and cone-hash tables
 // (EnableSigs/EnableCones) are NOT carried over: clones are speculative
-// scratch copies and must not pay for table maintenance.
+// scratch copies and must not pay for table maintenance. Fanin-ID slices
+// are shared with the original (they are immutable — every mutator installs
+// a fresh slice), so the copy is O(nodes) plus the node bodies.
 func (nw *Network) Clone() *Network {
-	c := New(nw.Name)
-	c.pis = append([]string(nil), nw.pis...)
-	c.pos = append([]string(nil), nw.pos...)
-	c.order = append([]string(nil), nw.order...)
-	//bdslint:ignore maporder order-invisible map-to-map copy: entries are independent
-	for k, v := range nw.nodes {
-		c.nodes[k] = v.Clone()
+	c := &Network{
+		Name:     nw.Name,
+		sym:      nw.sym.Clone(),
+		defs:     make([]*Node, len(nw.defs)),
+		piMark:   append([]bool(nil), nw.piMark...),
+		faninIDs: append([][]SigID(nil), nw.faninIDs...),
+		pis:      append([]SigID(nil), nw.pis...),
+		piNames:  append([]string(nil), nw.piNames...),
+		posIDs:   append([]SigID(nil), nw.posIDs...),
+		poNames:  append([]string(nil), nw.poNames...),
+		order:    append([]SigID(nil), nw.order...),
+	}
+	for id, n := range nw.defs {
+		if n != nil {
+			c.defs[id] = n.Clone()
+		}
 	}
 	return c
 }
@@ -162,9 +293,14 @@ func (nw *Network) Clone() *Network {
 func (nw *Network) CopyFrom(o *Network) {
 	c := o.Clone()
 	nw.Name = c.Name
+	nw.sym = c.sym
+	nw.defs = c.defs
+	nw.piMark = c.piMark
+	nw.faninIDs = c.faninIDs
 	nw.pis = c.pis
-	nw.pos = c.pos
-	nw.nodes = c.nodes
+	nw.piNames = c.piNames
+	nw.posIDs = c.posIDs
+	nw.poNames = c.poNames
 	nw.order = c.order
 	if nw.sigs != nil {
 		// A whole-network rewrite: every signature is suspect.
@@ -173,6 +309,21 @@ func (nw *Network) CopyFrom(o *Network) {
 	if nw.cones != nil {
 		nw.cones.markAllDirty()
 	}
+}
+
+// FanoutIDs returns, for every signal ID, the node IDs that read it as a
+// fanin, in deterministic (creation, then fanin-position) order.
+func (nw *Network) FanoutIDs() [][]SigID {
+	out := make([][]SigID, nw.sym.Len())
+	for _, id := range nw.order {
+		if nw.defs[id] == nil {
+			continue
+		}
+		for _, f := range nw.faninIDs[id] {
+			out[f] = append(out[f], id)
+		}
+	}
+	return out
 }
 
 // Fanouts returns, for every signal, the list of node names that use it as
@@ -187,37 +338,54 @@ func (nw *Network) Fanouts() map[string][]string {
 	return out
 }
 
+// TopoOrderIDs returns live node IDs such that every node appears after all
+// its fanin nodes. Panics on a combinational cycle. The visiting sequence
+// is creation order with a fanin-first DFS — byte-identical (through the
+// symbol table) to the historical name-keyed walk.
+func (nw *Network) TopoOrderIDs() []SigID {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, nw.sym.Len())
+	out := make([]SigID, 0, len(nw.order))
+	var visit func(SigID)
+	visit = func(id SigID) {
+		if nw.piMark[id] || nw.defs[id] == nil {
+			return
+		}
+		switch state[id] {
+		case visiting:
+			panic("network: combinational cycle at " + nw.sym.Name(id))
+		case done:
+			return
+		}
+		state[id] = visiting
+		for _, f := range nw.faninIDs[id] {
+			visit(f)
+		}
+		state[id] = done
+		out = append(out, id)
+	}
+	for _, id := range nw.order {
+		if nw.defs[id] != nil {
+			visit(id)
+		}
+	}
+	return out
+}
+
 // TopoOrder returns node names such that every node appears after all its
 // fanin nodes. Panics on a combinational cycle.
 func (nw *Network) TopoOrder() []string {
-	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
-	var out []string
-	var visit func(string)
-	visit = func(s string) {
-		if nw.isPI(s) {
-			return
-		}
-		n := nw.nodes[s]
-		if n == nil {
-			return
-		}
-		switch state[s] {
-		case 1:
-			panic("network: combinational cycle at " + s)
-		case 2:
-			return
-		}
-		state[s] = 1
-		for _, f := range n.Fanins {
-			visit(f)
-		}
-		state[s] = 2
-		out = append(out, s)
+	ids := nw.TopoOrderIDs()
+	if len(ids) == 0 {
+		return nil // historical name-keyed walk returned nil, not empty
 	}
-	for _, name := range nw.order {
-		if nw.nodes[name] != nil {
-			visit(name)
-		}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = nw.sym.Name(id)
 	}
 	return out
 }
@@ -228,37 +396,44 @@ func (nw *Network) DependsOn(a, b string) bool {
 	if a == b {
 		return true
 	}
-	seen := make(map[string]bool)
-	var walk func(string) bool
-	walk = func(s string) bool {
-		if s == b {
+	aid, aok := nw.sym.Lookup(a)
+	if !aok {
+		return false
+	}
+	bid, bok := nw.sym.Lookup(b)
+	if !bok {
+		return false
+	}
+	seen := make([]bool, nw.sym.Len())
+	var walk func(SigID) bool
+	walk = func(id SigID) bool {
+		if id == bid {
 			return true
 		}
-		if seen[s] {
+		if seen[id] {
 			return false
 		}
-		seen[s] = true
-		n := nw.nodes[s]
+		seen[id] = true
+		n := nw.defs[id]
 		if n == nil {
 			return false
 		}
-		for _, f := range n.Fanins {
+		for _, f := range nw.faninIDs[id] {
 			if walk(f) {
 				return true
 			}
 		}
 		return false
 	}
-	return walk(a)
+	return walk(aid)
 }
 
-// TFOSet returns the set of node names transitively depending on signal
-// name (excluding name itself) — one graph pass instead of per-pair
-// DependsOn probes.
-func (nw *Network) TFOSet(name string) map[string]bool {
-	fanouts := nw.Fanouts()
-	out := make(map[string]bool)
-	stack := []string{name}
+// TFOSetIDs returns a SigID-indexed membership slice of the nodes
+// transitively depending on signal id (excluding id itself).
+func (nw *Network) TFOSetIDs(id SigID) []bool {
+	fanouts := nw.FanoutIDs()
+	out := make([]bool, nw.sym.Len())
+	stack := []SigID{id}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -267,6 +442,25 @@ func (nw *Network) TFOSet(name string) map[string]bool {
 				out[fo] = true
 				stack = append(stack, fo)
 			}
+		}
+	}
+	out[id] = false
+	return out
+}
+
+// TFOSet returns the set of node names transitively depending on signal
+// name (excluding name itself) — one graph pass instead of per-pair
+// DependsOn probes.
+func (nw *Network) TFOSet(name string) map[string]bool {
+	out := make(map[string]bool)
+	id, ok := nw.sym.Lookup(name)
+	if !ok {
+		return out
+	}
+	marks := nw.TFOSetIDs(id)
+	for i, m := range marks {
+		if m {
+			out[nw.sym.Name(SigID(i))] = true
 		}
 	}
 	return out
@@ -294,30 +488,31 @@ func (nw *Network) FactoredLits() int {
 // Levels returns the logic depth of every signal (PIs at 0, each node one
 // more than its deepest fanin) and the maximum over the POs.
 func (nw *Network) Levels() (map[string]int, int) {
-	lv := make(map[string]int, len(nw.nodes)+len(nw.pis))
+	lv := make([]int, nw.sym.Len())
+	out := make(map[string]int, len(nw.order)+len(nw.pis))
 	for _, pi := range nw.pis {
-		lv[pi] = 0
+		out[nw.sym.Name(pi)] = 0
 	}
-	for _, name := range nw.TopoOrder() {
-		n := nw.nodes[name]
+	for _, id := range nw.TopoOrderIDs() {
 		d := 0
-		for _, f := range n.Fanins {
+		for _, f := range nw.faninIDs[id] {
 			if lv[f] >= d {
 				d = lv[f] + 1
 			}
 		}
-		if len(n.Fanins) == 0 {
+		if len(nw.faninIDs[id]) == 0 {
 			d = 0
 		}
-		lv[name] = d
+		lv[id] = d
+		out[nw.sym.Name(id)] = d
 	}
 	max := 0
-	for _, po := range nw.pos {
+	for _, po := range nw.posIDs {
 		if lv[po] > max {
 			max = lv[po]
 		}
 	}
-	return lv, max
+	return out, max
 }
 
 // String summarizes the network, rendering each node's SOP over its fanin
@@ -325,9 +520,9 @@ func (nw *Network) Levels() (map[string]int, int) {
 func (nw *Network) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "network %s: %d PI, %d PO, %d nodes, %d lits (sop), %d lits (fac)\n",
-		nw.Name, len(nw.pis), len(nw.pos), len(nw.nodes), nw.SOPLits(), nw.FactoredLits())
-	for _, name := range nw.TopoOrder() {
-		n := nw.nodes[name]
+		nw.Name, len(nw.pis), len(nw.posIDs), nw.NumNodes(), nw.SOPLits(), nw.FactoredLits())
+	for _, id := range nw.TopoOrderIDs() {
+		n := nw.defs[id]
 		fmt.Fprintf(&b, "  %s = %s\n", n.Name, n.Render())
 	}
 	return b.String()
@@ -359,14 +554,43 @@ func (n *Node) Render() string {
 	return strings.Join(terms, " + ")
 }
 
+// replaceInPlace binds n to name's existing creation-order slot, bypassing
+// validation — Overlay.Clone's install path for already-validated delta
+// bodies (the overlay checked cycles and cover spaces when the mutation was
+// recorded).
+func (nw *Network) replaceInPlace(name string, n *Node) {
+	id := nw.intern(name)
+	nw.defs[id] = n
+	nw.faninIDs[id] = nw.internFanins(n.Fanins)
+}
+
+// installAppended binds n to name and appends it to the creation order,
+// bypassing validation — Overlay.Clone's install path for added nodes.
+func (nw *Network) installAppended(name string, n *Node) {
+	id := nw.intern(name)
+	nw.defs[id] = n
+	nw.faninIDs[id] = nw.internFanins(n.Fanins)
+	nw.order = append(nw.order, id)
+}
+
+// setNodeFunc installs a new fanin list and cover on node id, keeping the
+// name-face and ID-core views in lockstep (a fresh faninIDs slice is built;
+// the old one may be shared with clones and is never edited).
+func (nw *Network) setNodeFunc(id SigID, n *Node, fanins []string, cover cube.Cover) {
+	n.Fanins = fanins
+	n.Cover = cover
+	nw.faninIDs[id] = nw.internFanins(fanins)
+}
+
 // ReplaceNodeFunction rewrites node name with a new fanin list and cover,
 // preserving its name (fanouts are untouched). It refuses changes that would
 // create a combinational cycle.
 func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.Cover) error {
-	n := nw.nodes[name]
-	if n == nil {
+	id, ok := nw.sym.Lookup(name)
+	if !ok || nw.defs[id] == nil {
 		return fmt.Errorf("network: no node %q", name)
 	}
+	n := nw.defs[id]
 	if cover.NumVars() != len(fanins) {
 		return fmt.Errorf("network: cover space mismatch for %q", name)
 	}
@@ -378,13 +602,12 @@ func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.
 			return fmt.Errorf("network: self-loop on %q", name)
 		}
 	}
-	n.Fanins = append([]string(nil), fanins...)
-	n.Cover = cover
+	nw.setNodeFunc(id, n, append([]string(nil), fanins...), cover)
 	if nw.sigs != nil {
-		nw.sigs.markDirty(name)
+		nw.sigs.markDirty(id)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 	return nil
 }
@@ -392,10 +615,11 @@ func (nw *Network) ReplaceNodeFunction(name string, fanins []string, cover cube.
 // NormalizeNode drops fanins that no longer appear in the node's cover,
 // compacting the variable space.
 func (nw *Network) NormalizeNode(name string) {
-	n := nw.nodes[name]
-	if n == nil {
+	id, ok := nw.sym.Lookup(name)
+	if !ok || nw.defs[id] == nil {
 		return
 	}
+	n := nw.defs[id]
 	used := n.Cover.Support()
 	if len(used) == len(n.Fanins) {
 		return
@@ -414,13 +638,12 @@ func (nw *Network) NormalizeNode(name string) {
 		}
 		nc.Add(k)
 	}
-	n.Fanins = newFanins
-	n.Cover = nc
+	nw.setNodeFunc(id, n, newFanins, nc)
 	// Semantically invisible (the function is unchanged, so signatures stay
 	// valid) but structurally visible: the cone hash covers the fanin list
 	// and cover bytes.
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 }
 
@@ -428,28 +651,31 @@ func (nw *Network) NormalizeNode(name string) {
 // The cover's variable space must match the fanin count — this is the RAR
 // extraction seam, where redundancy removal only deletes literals.
 func (nw *Network) SetNodeCover(name string, cover cube.Cover) {
-	n := nw.nodes[name]
-	if n == nil {
+	id, ok := nw.sym.Lookup(name)
+	if !ok || nw.defs[id] == nil {
 		panic(fmt.Sprintf("network: no node %q", name))
 	}
+	n := nw.defs[id]
 	if cover.NumVars() != len(n.Fanins) {
 		panic(fmt.Sprintf("network: cover space mismatch for %q", name))
 	}
 	n.Cover = cover
 	if nw.sigs != nil {
-		nw.sigs.markDirty(name)
+		nw.sigs.markDirty(id)
 	}
 	if nw.cones != nil {
-		nw.cones.markDirty(name)
+		nw.cones.markDirty(id)
 	}
 }
 
 // FreshName generates an unused signal name with the given prefix. It is a
-// pure probe (nothing is reserved), so it is part of the Reader surface.
+// pure probe (nothing is reserved or interned), so it is part of the Reader
+// surface.
 func (nw *Network) FreshName(prefix string) string {
 	for i := 0; ; i++ {
 		name := fmt.Sprintf("%s%d", prefix, i)
-		if nw.nodes[name] == nil && !nw.isPI(name) {
+		id, ok := nw.sym.Lookup(name)
+		if !ok || (nw.defs[id] == nil && !nw.piMark[id]) {
 			return name
 		}
 	}
@@ -458,10 +684,11 @@ func (nw *Network) FreshName(prefix string) string {
 // SortedNodeNames returns node names sorted lexicographically (stable
 // iteration for tests).
 func (nw *Network) SortedNodeNames() []string {
-	out := make([]string, 0, len(nw.nodes))
-	//bdslint:ignore maporder keys collected then sorted before use
-	for k := range nw.nodes {
-		out = append(out, k)
+	out := make([]string, 0, len(nw.order))
+	for _, id := range nw.order {
+		if nw.defs[id] != nil {
+			out = append(out, nw.sym.Name(id))
+		}
 	}
 	sort.Strings(out)
 	return out

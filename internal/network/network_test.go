@@ -8,6 +8,35 @@ import (
 	"repro/internal/cube"
 )
 
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", rec, want)
+		}
+	}()
+	fn()
+}
+
+func TestAddPIDuplicatePanics(t *testing.T) {
+	nw := New("dup")
+	nw.AddPI("a")
+	mustPanic(t, "duplicate signal", func() { nw.AddPI("a") })
+}
+
+func TestAddPODuplicatePanics(t *testing.T) {
+	// A doubled PO entry would double-count the output in Levels, Eliminate's
+	// protection set, and the BLIF .outputs line; reject it at the source
+	// exactly like AddPI rejects a doubled input.
+	nw := buildSmall()
+	mustPanic(t, "duplicate primary output", func() { nw.AddPO("f") })
+}
+
 // buildSmall returns: PIs a,b,c; g = ab; f = g + c; PO f.
 func buildSmall() *Network {
 	nw := New("small")

@@ -25,11 +25,24 @@ import (
 // carry them, so Sigs/Cones return nil). FuzzOverlayReadEquivalence locks
 // this down against the materialized clone.
 //
+// ID space: the overlay shares its base's dense SigIDs for every base
+// signal and extends the space with overlay-local IDs (baseN, baseN+1, …)
+// for names it introduces. Extension IDs are assigned only by the mutating
+// entry points — reads are pure, so overlays stack: an overlay over an
+// overlay snapshots a base ID space that cannot grow underneath it. The
+// delta itself stays a tiny name-keyed map: a trial touches a handful of
+// nodes, and thousands of short-lived overlays are concurrently live during
+// a wave — a per-overlay O(baseN) slot array would swamp the trial path in
+// allocation.
+//
 // An Overlay is owned by a single goroutine; concurrent overlays over one
-// shared base are safe because their deltas are private and base reads are
-// pure.
+// shared base are safe because their deltas (and extension symbol tables)
+// are private and base reads are pure.
 type Overlay struct {
 	base Reader
+	// baseN is the base ID-space size captured at creation; IDs below it are
+	// base IDs, IDs at or above it are overlay-local extensions.
+	baseN int
 	// nodes holds the delta bodies: a non-nil entry replaces (or adds) the
 	// node, a nil entry marks a base node deleted.
 	nodes map[string]*Node
@@ -41,11 +54,15 @@ type Overlay struct {
 	changed []string
 	// dels counts deleted base nodes (for NumNodes).
 	dels int
+	// extNames/extByName are the overlay-local extension symbol table:
+	// extNames[k] has ID baseN+k.
+	extNames  []string
+	extByName map[string]SigID
 }
 
 // NewOverlay returns an empty copy-on-write view over base.
 func NewOverlay(base Reader) *Overlay {
-	return &Overlay{base: base, nodes: make(map[string]*Node)}
+	return &Overlay{base: base, baseN: base.NumSigs(), nodes: make(map[string]*Node)}
 }
 
 // Base returns the reader the overlay was created over.
@@ -71,6 +88,123 @@ func (o *Overlay) POs() []string { return o.base.POs() }
 
 // IsPI reports whether name is a primary input of the base.
 func (o *Overlay) IsPI(name string) bool { return o.base.IsPI(name) }
+
+// --- Dense-ID surface ---------------------------------------------------
+
+// internName returns name's ID, extending the overlay-local space on first
+// sight of a name the base has never interned. Called ONLY from the
+// mutating entry points (AddNode, ReplaceNodeFunction): the ID space must
+// be stable during reads, because another overlay stacked on top of this
+// one snapshots NumSigs at creation — a read that grew the base's space
+// would collide with the upper overlay's extension IDs.
+func (o *Overlay) internName(name string) SigID {
+	if id, ok := o.base.IDOf(name); ok {
+		return id
+	}
+	if id, ok := o.extByName[name]; ok {
+		return id
+	}
+	if o.extByName == nil {
+		o.extByName = make(map[string]SigID)
+	}
+	id := SigID(o.baseN + len(o.extNames))
+	o.extNames = append(o.extNames, name)
+	o.extByName[name] = id
+	return id
+}
+
+// idOf resolves name without interning (the pure read-path counterpart of
+// internName); NoSig when the name has never been seen.
+func (o *Overlay) idOf(name string) SigID {
+	if id, ok := o.base.IDOf(name); ok {
+		return id
+	}
+	if id, ok := o.extByName[name]; ok {
+		return id
+	}
+	return NoSig
+}
+
+// NumSigs returns the extended ID-space size (base plus overlay-local).
+func (o *Overlay) NumSigs() int { return o.baseN + len(o.extNames) }
+
+// IDOf returns the dense ID of name: the base's when it knows the name, the
+// overlay-local extension otherwise.
+func (o *Overlay) IDOf(name string) (SigID, bool) {
+	if id, ok := o.base.IDOf(name); ok {
+		return id, true
+	}
+	id, ok := o.extByName[name]
+	return id, ok
+}
+
+// SigName returns the name bound to id.
+func (o *Overlay) SigName(id SigID) string {
+	if int(id) < o.baseN {
+		return o.base.SigName(id)
+	}
+	return o.extNames[int(id)-o.baseN]
+}
+
+// NodeByID returns the node driving signal id under the overlay.
+func (o *Overlay) NodeByID(id SigID) *Node {
+	if int(id) < o.baseN {
+		if n, ok := o.nodes[o.base.SigName(id)]; ok {
+			return n
+		}
+		return o.base.NodeByID(id)
+	}
+	k := int(id) - o.baseN
+	if k < len(o.extNames) {
+		return o.nodes[o.extNames[k]]
+	}
+	return nil
+}
+
+// IsPIID reports whether id is a base primary input (overlay-local IDs
+// never are).
+func (o *Overlay) IsPIID(id SigID) bool {
+	return int(id) < o.baseN && o.base.IsPIID(id)
+}
+
+// FaninIDsOf returns node id's fanin IDs under the overlay. Untouched base
+// nodes share the base's slice (allocation-free, the common case); delta
+// bodies intern on demand.
+func (o *Overlay) FaninIDsOf(id SigID) []SigID {
+	if int(id) < o.baseN {
+		if _, touched := o.nodes[o.base.SigName(id)]; !touched {
+			return o.base.FaninIDsOf(id)
+		}
+	}
+	n := o.NodeByID(id)
+	if n == nil {
+		return nil
+	}
+	ids := make([]SigID, len(n.Fanins))
+	for i, f := range n.Fanins {
+		id := o.idOf(f)
+		if id == NoSig {
+			panic(fmt.Sprintf("network: overlay fanin %q was never interned", f))
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// TopoOrderIDs returns node IDs in topological order — TopoOrder's visiting
+// sequence, signal for signal.
+func (o *Overlay) TopoOrderIDs() []SigID {
+	names := o.TopoOrder()
+	out := make([]SigID, len(names))
+	for i, s := range names {
+		id := o.idOf(s)
+		if id == NoSig {
+			panic(fmt.Sprintf("network: overlay node %q was never interned", s))
+		}
+		out[i] = id
+	}
+	return out
+}
 
 // isAdded reports whether name was created on the overlay. The added list
 // stays tiny (a division trial adds at most one core node), so a scan beats
@@ -293,11 +427,10 @@ func (o *Overlay) Clone() *Network {
 		}
 		// Replaced nodes keep their creation-order slot; install directly
 		// (the overlay already validated the rewrite).
-		c.nodes[name] = n.Clone()
+		c.replaceInPlace(name, n.Clone())
 	}
 	for _, name := range o.added {
-		c.nodes[name] = o.nodes[name].Clone()
-		c.order = append(c.order, name)
+		c.installAppended(name, o.nodes[name].Clone())
 	}
 	return c
 }
@@ -338,6 +471,10 @@ func (o *Overlay) AddNode(name string, fanins []string, cover cube.Cover) *Node 
 	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
 	o.nodes[name] = n
 	o.added = append(o.added, name)
+	o.internName(name)
+	for _, f := range fanins {
+		o.internName(f)
+	}
 	return n
 }
 
@@ -379,6 +516,9 @@ func (o *Overlay) ReplaceNodeFunction(name string, fanins []string, cover cube.C
 	n := o.touch(name)
 	n.Fanins = append([]string(nil), fanins...)
 	n.Cover = cover
+	for _, f := range fanins {
+		o.internName(f)
+	}
 	return nil
 }
 

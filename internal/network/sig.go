@@ -10,6 +10,10 @@ import "repro/internal/cube"
 // implication) trial is skipped. Signatures are maintained incrementally:
 // structural edits mark the rewritten signal dirty, and Refresh recomputes
 // only the dirty set plus its transitive fanout.
+//
+// Storage is a flat SigID-indexed array pair (sig, known) plus a dirty
+// mark/list pair — no maps, no iteration-order hazards: every walk below
+// runs in creation or topological ID order.
 
 // SigWords is the number of 64-bit pattern words per signature (SigWords*64
 // random input patterns).
@@ -91,18 +95,20 @@ func AllOnes() Signature {
 	return s
 }
 
-// SigTable holds the per-signal signatures of one network. It is owned by
-// the network's serial mutator: all recomputation happens in Refresh, so
-// between a Refresh and the next mutation any number of goroutines may call
-// Sig concurrently (it is a pure map read). Clones of the network do not
-// carry the table — speculative rewrites on planner clones never pay for
-// signature maintenance.
+// SigTable holds the per-signal signatures of one network, in flat
+// SigID-indexed arrays. It is owned by the network's serial mutator: all
+// recomputation happens in Refresh, so between a Refresh and the next
+// mutation any number of goroutines may call Sig concurrently (it is a pure
+// slice read). Clones of the network do not carry the table — speculative
+// rewrites on planner clones never pay for signature maintenance.
 type SigTable struct {
-	nw       *Network
-	pi       map[string]Signature // fixed random input patterns, set once
-	sig      map[string]Signature // node signatures (clean entries only)
-	dirty    map[string]bool      // signals whose function changed since Refresh
-	allDirty bool                 // whole-network rewrite (CopyFrom): recompute all
+	nw        *Network
+	piPat     []Signature // fixed random patterns by PI *position*, set once
+	sig       []Signature // by SigID (valid where known)
+	known     []bool      // by SigID: signature present and clean
+	dirtyMark []bool      // by SigID: function changed since Refresh
+	dirtyList []SigID     // the marked IDs, in marking order
+	allDirty  bool        // whole-network rewrite (CopyFrom): recompute all
 }
 
 // splitmix64 is the pattern generator: a tiny, deterministic PRNG stepped
@@ -118,24 +124,20 @@ func splitmix64(x uint64) uint64 {
 // EnableSigs attaches (or returns the already attached) signature table and
 // computes signatures for every signal. PI patterns are a fixed
 // deterministic function of the PI's position, so two runs over the same
-// network sample identical patterns.
+// network sample identical patterns (and survive CopyFrom, which may reseat
+// IDs but keeps the PI declaration order).
 func (nw *Network) EnableSigs() *SigTable {
 	if nw.sigs != nil {
 		nw.sigs.Refresh()
 		return nw.sigs
 	}
-	t := &SigTable{
-		nw:    nw,
-		pi:    make(map[string]Signature, len(nw.pis)),
-		sig:   make(map[string]Signature, len(nw.nodes)),
-		dirty: make(map[string]bool),
-	}
-	for i, pi := range nw.pis {
+	t := &SigTable{nw: nw, piPat: make([]Signature, len(nw.pis))}
+	for i := range nw.pis {
 		var s Signature
 		for w := 0; w < SigWords; w++ {
 			s[w] = splitmix64(uint64(i*SigWords + w + 1))
 		}
-		t.pi[pi] = s
+		t.piPat[i] = s
 	}
 	t.allDirty = true
 	nw.sigs = t
@@ -152,34 +154,69 @@ func (nw *Network) DisableSigs() { nw.sigs = nil }
 // read between refreshes.
 func (nw *Network) Sigs() *SigTable { return nw.sigs }
 
-// markDirty records that name's function changed. O(1); the transitive
-// fanout is resolved at Refresh time against the then-current graph (any
-// node whose own fanin list changed has been marked itself).
-func (t *SigTable) markDirty(name string) {
+// grow extends the ID-indexed slices to the current symbol-table size.
+func (t *SigTable) grow() {
+	n := t.nw.sym.Len()
+	for len(t.sig) < n {
+		t.sig = append(t.sig, Signature{})
+		t.known = append(t.known, false)
+	}
+	for len(t.dirtyMark) < n {
+		t.dirtyMark = append(t.dirtyMark, false)
+	}
+}
+
+// markDirty records that id's function changed. O(1); the transitive fanout
+// is resolved at Refresh time against the then-current graph (any node
+// whose own fanin list changed has been marked itself).
+func (t *SigTable) markDirty(id SigID) {
 	if t.allDirty {
 		return
 	}
-	t.dirty[name] = true
+	t.grow()
+	if !t.dirtyMark[id] {
+		t.dirtyMark[id] = true
+		t.dirtyList = append(t.dirtyList, id)
+	}
 }
 
 // markAllDirty records a whole-network rewrite.
 func (t *SigTable) markAllDirty() {
 	t.allDirty = true
-	t.dirty = make(map[string]bool)
+	for _, id := range t.dirtyList {
+		if int(id) < len(t.dirtyMark) {
+			t.dirtyMark[id] = false
+		}
+	}
+	t.dirtyList = t.dirtyList[:0]
 }
 
 // Sig returns the signature of a signal (PI or node). ok=false when the
 // signal is unknown or its signature is stale (an edit has not been
 // Refreshed yet) — callers must treat false as "no information".
 func (t *SigTable) Sig(name string) (Signature, bool) {
-	if t.allDirty || t.dirty[name] {
+	if t.allDirty {
 		return Signature{}, false
 	}
-	if s, ok := t.pi[name]; ok {
-		return s, true
+	id, ok := t.nw.sym.Lookup(name)
+	if !ok || int(id) >= len(t.known) {
+		return Signature{}, false
 	}
-	s, ok := t.sig[name]
-	return s, ok
+	if int(id) < len(t.dirtyMark) && t.dirtyMark[id] {
+		return Signature{}, false
+	}
+	return t.sig[id], t.known[id]
+}
+
+// SigByID is Sig on the dense-ID surface.
+func (t *SigTable) SigByID(id SigID) (Signature, bool) {
+	if t.allDirty || int(id) >= len(t.known) {
+		return Signature{}, false
+	}
+	if int(id) < len(t.dirtyMark) && t.dirtyMark[id] {
+		return Signature{}, false
+	}
+	return t.sig[id], t.known[id]
 }
 
 // Refresh brings the table up to date: it recomputes the dirty signals,
@@ -190,24 +227,24 @@ func (t *SigTable) Sig(name string) (Signature, bool) {
 // returns immediately.
 func (t *SigTable) Refresh() {
 	nw := t.nw
-	if !t.allDirty && len(t.dirty) == 0 {
+	if !t.allDirty && len(t.dirtyList) == 0 {
 		return
 	}
-	need := make(map[string]bool)
+	t.grow()
+	need := make([]bool, nw.sym.Len())
 	if t.allDirty {
-		//bdslint:ignore maporder order-invisible set fill: need gains every node regardless of order
-		for name := range nw.nodes {
-			need[name] = true
+		for _, id := range nw.order {
+			if nw.defs[id] != nil {
+				need[id] = true
+			}
 		}
 	} else {
 		// Dirty closure: dirty signals plus their transitive fanout in the
 		// current graph.
-		fanouts := nw.Fanouts()
-		stack := make([]string, 0, len(t.dirty))
-		//bdslint:ignore maporder order-invisible closure seed: the walk computes a set, and recomputation below runs in topo order
-		for name := range t.dirty {
-			need[name] = true
-			stack = append(stack, name)
+		fanouts := nw.FanoutIDs()
+		stack := append([]SigID(nil), t.dirtyList...)
+		for _, id := range t.dirtyList {
+			need[id] = true
 		}
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
@@ -220,60 +257,58 @@ func (t *SigTable) Refresh() {
 			}
 		}
 		// Nodes the table has never computed (added since the last Refresh).
-		//bdslint:ignore maporder order-invisible set fill: membership test plus insert, entries independent
-		for name := range nw.nodes {
-			if _, ok := t.sig[name]; !ok {
-				need[name] = true
+		for _, id := range nw.order {
+			if nw.defs[id] != nil && !t.known[id] {
+				need[id] = true
 			}
 		}
 	}
-	val := make(map[string]uint64, 8)
-	for _, name := range nw.TopoOrder() {
-		if !need[name] {
+	// (Re)bind the fixed PI patterns to the current PI list by position.
+	for i, pi := range nw.pis {
+		if i < len(t.piPat) {
+			t.sig[pi] = t.piPat[i]
+			t.known[pi] = true
+		}
+	}
+	val := make([]uint64, nw.sym.Len())
+	for _, id := range nw.TopoOrderIDs() {
+		if !need[id] {
 			continue
 		}
-		n := nw.nodes[name]
+		n := nw.defs[id]
+		fids := nw.faninIDs[id]
 		var out Signature
 		ok := true
 		for w := 0; w < SigWords && ok; w++ {
-			clear(val)
-			for _, f := range n.Fanins {
-				fs, found := t.lookup(f)
-				if !found {
+			for _, f := range fids {
+				if !t.known[f] {
 					ok = false
 					break
 				}
-				val[f] = fs[w]
+				val[f] = t.sig[f][w]
 			}
 			if ok {
-				out[w] = evalCoverWords(n.Cover, n.Fanins, val)
+				out[w] = evalCoverIDs(n.Cover, fids, val)
 			}
 		}
 		if ok {
-			t.sig[name] = out
+			t.sig[id] = out
+			t.known[id] = true
 		} else {
-			delete(t.sig, name) // undriven fanin: leave unknown
+			t.known[id] = false // undriven fanin: leave unknown
 		}
 	}
 	// Drop signatures of removed nodes.
-	//bdslint:ignore maporder order-invisible sweep: entries are tested and deleted independently
-	for name := range t.sig {
-		if nw.nodes[name] == nil {
-			delete(t.sig, name)
+	for id := range t.known {
+		if t.known[id] && !nw.piMark[id] && nw.defs[id] == nil {
+			t.known[id] = false
 		}
 	}
-	t.dirty = make(map[string]bool)
-	t.allDirty = false
-}
-
-// lookup reads a signature during Refresh, ignoring dirty marks (the topo
-// walk guarantees fanins are recomputed before their fanouts).
-func (t *SigTable) lookup(name string) (Signature, bool) {
-	if s, ok := t.pi[name]; ok {
-		return s, true
+	for _, id := range t.dirtyList {
+		t.dirtyMark[id] = false
 	}
-	s, ok := t.sig[name]
-	return s, ok
+	t.dirtyList = t.dirtyList[:0]
+	t.allDirty = false
 }
 
 // ObsCare returns the observability signature of a signal: the sampled
@@ -284,49 +319,51 @@ func (t *SigTable) lookup(name string) (Signature, bool) {
 // ok=false when the table is stale or a needed signature is missing —
 // callers must treat that as "everything may be observable".
 func (t *SigTable) ObsCare(name string) (Signature, bool) {
-	if t.allDirty || len(t.dirty) > 0 {
-		return Signature{}, false
-	}
-	base, ok := t.lookup(name)
-	if !ok {
+	if t.allDirty || len(t.dirtyList) > 0 {
 		return Signature{}, false
 	}
 	nw := t.nw
-	flipped := map[string]Signature{name: base.Not()}
-	tfo := nw.TFOSet(name)
-	val := make(map[string]uint64, 8)
-	for _, n := range nw.TopoOrder() {
-		if n == name || !tfo[n] {
+	id, ok := nw.sym.Lookup(name)
+	if !ok || int(id) >= len(t.known) || !t.known[id] {
+		return Signature{}, false
+	}
+	flipped := make([]Signature, nw.sym.Len())
+	isFlipped := make([]bool, nw.sym.Len())
+	flipped[id] = t.sig[id].Not()
+	isFlipped[id] = true
+	tfo := nw.TFOSetIDs(id)
+	val := make([]uint64, nw.sym.Len())
+	for _, nid := range nw.TopoOrderIDs() {
+		if nid == id || !tfo[nid] {
 			continue
 		}
-		node := nw.nodes[n]
+		node := nw.defs[nid]
+		fids := nw.faninIDs[nid]
 		var out Signature
 		for w := 0; w < SigWords; w++ {
-			clear(val)
-			for _, fi := range node.Fanins {
-				if fs, isFlipped := flipped[fi]; isFlipped {
-					val[fi] = fs[w]
-				} else if fs, found := t.lookup(fi); found {
-					val[fi] = fs[w]
+			for _, fi := range fids {
+				if isFlipped[fi] {
+					val[fi] = flipped[fi][w]
+				} else if int(fi) < len(t.known) && t.known[fi] {
+					val[fi] = t.sig[fi][w]
 				} else {
 					return Signature{}, false
 				}
 			}
-			out[w] = evalCoverWords(node.Cover, node.Fanins, val)
+			out[w] = evalCoverIDs(node.Cover, fids, val)
 		}
-		flipped[n] = out
+		flipped[nid] = out
+		isFlipped[nid] = true
 	}
 	var care Signature
-	for _, po := range nw.POs() {
-		fv, isFlipped := flipped[po]
-		if !isFlipped {
+	for _, po := range nw.posIDs {
+		if int(po) >= len(isFlipped) || !isFlipped[po] {
 			continue // the flip never reaches this output
 		}
-		ov, ok := t.lookup(po)
-		if !ok {
+		if !t.known[po] {
 			return Signature{}, false
 		}
-		care = care.Or(fv.Xor(ov))
+		care = care.Or(flipped[po].Xor(t.sig[po]))
 	}
 	return care, true
 }

@@ -13,8 +13,8 @@ func sigFromSimulate(t *SigTable, nw *Network, name string) Signature {
 	var out Signature
 	for w := 0; w < SigWords; w++ {
 		in := map[string]uint64{}
-		for _, pi := range nw.PIs() {
-			in[pi] = t.pi[pi][w]
+		for i, pi := range nw.PIs() {
+			in[pi] = t.piPat[i][w]
 		}
 		out[w] = nw.Simulate(in)[name]
 	}

@@ -7,24 +7,34 @@ import "repro/internal/cube"
 // It returns a word per signal (PIs included). Every PI must be present in
 // piWords; a missing entry panics (like the package's other invariant
 // violations) rather than silently simulating the PI as constant 0.
+// Internally the evaluation runs on the dense ID core (one slice index per
+// fanin read); the maps exist only at this boundary.
 func (nw *Network) Simulate(piWords map[string]uint64) map[string]uint64 {
-	val := make(map[string]uint64, len(nw.nodes)+len(nw.pis))
-	for _, pi := range nw.pis {
-		w, ok := piWords[pi]
+	val := make([]uint64, nw.sym.Len())
+	for i, pi := range nw.pis {
+		w, ok := piWords[nw.piNames[i]]
 		if !ok {
-			panic("network: Simulate missing PI " + pi)
+			panic("network: Simulate missing PI " + nw.piNames[i])
 		}
 		val[pi] = w
 	}
-	for _, name := range nw.TopoOrder() {
-		n := nw.nodes[name]
-		val[name] = evalCoverWords(n.Cover, n.Fanins, val)
+	ids := nw.TopoOrderIDs()
+	out := make(map[string]uint64, len(ids)+len(nw.pis))
+	for i, pi := range nw.pis {
+		out[nw.piNames[i]] = val[pi]
 	}
-	return val
+	for _, id := range ids {
+		n := nw.defs[id]
+		val[id] = evalCoverIDs(n.Cover, nw.faninIDs[id], val)
+		out[nw.sym.Name(id)] = val[id]
+	}
+	return out
 }
 
-// evalCoverWords evaluates a cover bit-parallel given fanin words.
-func evalCoverWords(f cube.Cover, fanins []string, val map[string]uint64) uint64 {
+// evalCoverIDs evaluates a cover bit-parallel given a SigID-indexed word
+// slice (an undriven fanin reads as constant 0, matching the historical
+// missing-map-entry behavior).
+func evalCoverIDs(f cube.Cover, fanins []SigID, val []uint64) uint64 {
 	var out uint64
 	for _, c := range f.Cubes {
 		w := ^uint64(0)
@@ -68,7 +78,7 @@ func (nw *Network) GlobalCover(name string, piOrder []string) cube.Cover {
 			memo[s] = g
 			return g
 		}
-		nd := nw.nodes[s]
+		nd := nw.Node(s)
 		if nd == nil {
 			panic("network: unknown signal " + s)
 		}
