@@ -687,6 +687,39 @@ func BenchmarkSubstituteTrialCache(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerBookkeeping measures one wave of the planner's per-node
+// bookkeeping — divisor-candidate enumeration plus SigID-memoized
+// factored-literal costing — over the suite circuits, with no trials and
+// no commits. allocs/op is the headline metric: this state used to live
+// in per-wave string-keyed maps and now lives in SigID-indexed epoch
+// arenas, so allocation growth here means the bookkeeping regressed back
+// to name hashing (the same surface the idmap/hotalloc analyzers guard
+// statically). cands confirms the enumeration did not move.
+func BenchmarkPlannerBookkeeping(b *testing.B) {
+	circuits := []string{"rnd_d", "rnd_e", "csel8", "mult3", "pla_c"}
+	prepared := make([]*network.Network, len(circuits))
+	for i, name := range circuits {
+		nw := bench.Get(name)
+		script.A(nw)
+		prepared[i] = nw
+	}
+	opt := core.Options{Config: core.Extended, POS: true, Pool: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, lits := 0, 0
+		for _, nw := range prepared {
+			c, l := core.PlannerBookkeepingProbe(nw, opt)
+			cands += c
+			lits += l
+		}
+		if cands == 0 || lits == 0 {
+			b.Fatal("probe found no candidates — bookkeeping regressed")
+		}
+		b.ReportMetric(float64(cands), "cands")
+	}
+}
+
 // BenchmarkNodeLookup compares the two node-resolution paths of the
 // dense-ID core on the committed 10k-gate circuit
 // (testdata/custom_64_10000_1.blif, regenerate with

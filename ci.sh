@@ -14,22 +14,36 @@ go vet ./...
 go build ./...
 
 # Invariant suite (see internal/analysis and DESIGN.md "Invariants: static
-# vs runtime"): maporder, noclock, roview, spawn over the whole module.
+# vs runtime"): maporder, noclock, roview, spawn, idmap, hotalloc over the
+# whole module. The same binary runs three ways:
+#   1. standalone over ./... with the ignore-accounting report and the
+#      committed per-rule budget (fails on stale ignores and budget growth),
+#   2. as a `go vet` tool over one guarded package, exercising the
+#      unitchecker protocol path the analyzers also support,
+#   3. the report JSON is printed as a build artifact so a CI log shows the
+#      suppression counts at a glance.
 go build -o /tmp/bdslint.ci ./cmd/bdslint
-/tmp/bdslint.ci ./...
+/tmp/bdslint.ci -report /tmp/bdslint_ignores.json -budget testdata/lint/ignore_budget.json ./...
+go vet -vettool=/tmp/bdslint.ci ./internal/core
+echo "bdslint ignore report:" && cat /tmp/bdslint_ignores.json
 
 go test ./...
 go test -race ./internal/core ./internal/atpg ./internal/netlist
 # Fuzz smoke. The first line replays the committed seed corpora for every
 # fuzz target (no -fuzz flag: deterministic, fails on any regressed seed).
-# The rest explore for a few seconds per target — Go accepts only one -fuzz
-# pattern per invocation, so each target gets its own line.
+# Then each target explores for a few seconds — Go accepts only one -fuzz
+# pattern per invocation, so the loop pairs each target with its package.
 go test -run Fuzz ./internal/blif ./internal/cube ./internal/network
-go test -run '^$' -fuzz '^FuzzParse$' -fuzztime=5s ./internal/blif
-go test -run '^$' -fuzz '^FuzzParseNoSemanticsCrash$' -fuzztime=5s ./internal/blif
-go test -run '^$' -fuzz '^FuzzCoverOps$' -fuzztime=5s ./internal/cube
-go test -run '^$' -fuzz '^FuzzConeHashOrderInvariance$' -fuzztime=5s ./internal/network
-go test -run '^$' -fuzz '^FuzzOverlayReadEquivalence$' -fuzztime=5s ./internal/network
+for target in \
+  'FuzzParse ./internal/blif' \
+  'FuzzParseNoSemanticsCrash ./internal/blif' \
+  'FuzzCoverOps ./internal/cube' \
+  'FuzzConeHashOrderInvariance ./internal/network' \
+  'FuzzOverlayReadEquivalence ./internal/network'
+do
+  set -- $target
+  go test -run '^$' -fuzz "^$1\$" -fuzztime=5s "$2"
+done
 
 # Bench regression (warn-only — single-shot CI timings are noisy, so this
 # prints warnings instead of failing; re-record the committed baseline with
@@ -38,6 +52,6 @@ go test -run '^$' -fuzz '^FuzzOverlayReadEquivalence$' -fuzztime=5s ./internal/n
 # thresholds than ns/op: allocation counts are near-deterministic here, so
 # drift means the engine's allocation behavior actually changed.
 go build -o /tmp/benchreg.ci ./cmd/benchreg
-go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$|BenchmarkNodeLookup$' -benchtime 1x -benchmem . \
+go test -run '^$' -bench 'BenchmarkSubstitute(Parallel|TrialCache)$|BenchmarkNodeLookup$|BenchmarkPlannerBookkeeping$' -benchtime 1x -benchmem . \
   | /tmp/benchreg.ci -emit /tmp/BENCH_substitute.json
 /tmp/benchreg.ci -compare testdata/bench/BENCH_substitute.json /tmp/BENCH_substitute.json

@@ -1,11 +1,14 @@
 // Command bdslint runs the determinism-contract invariant suite (maporder,
-// noclock, roview, spawn — see internal/analysis) over the module.
+// noclock, roview, spawn, idmap, hotalloc — see internal/analysis) over the
+// module.
 //
 // Standalone:
 //
 //	bdslint ./...                 # whole module (the CI gate)
 //	bdslint ./internal/core       # one package
 //	bdslint -list                 # describe the rules
+//	bdslint -report out.json ./...            # emit the ignore-accounting JSON
+//	bdslint -budget testdata/lint/ignore_budget.json ./...  # fail on budget growth
 //
 // As a vet tool (the go/analysis unitchecker protocol, reimplemented on the
 // standard library so the repo stays dependency-free):
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +39,7 @@ func run(args []string) int {
 	for _, a := range args {
 		if a == "-V=full" || a == "--V=full" {
 			// go vet probes the tool's version to key its action cache.
-			fmt.Println("bdslint version 3 (determinism-contract suite)")
+			fmt.Println("bdslint version 4 (determinism-contract suite)")
 			return 0
 		}
 		if a == "-flags" || a == "--flags" {
@@ -51,6 +55,8 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("bdslint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "describe the suite's rules and exit")
+	reportPath := fs.String("report", "", "write the ignore-accounting report JSON to this path (\"-\" for stdout)")
+	budgetPath := fs.String("budget", "", "fail when justified ignores exceed the per-rule budget in this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,17 +73,66 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := bdslint.LintModule(".", patterns)
+	diags, report, err := bdslint.LintModuleReport(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
 		return 2
 	}
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
+			return 2
+		}
+	}
 	for _, d := range diags {
 		fmt.Println(d.String())
 	}
+	status := 0
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "bdslint: %d finding(s)\n", len(diags))
-		return 1
+		status = 1
 	}
-	return 0
+	if *budgetPath != "" {
+		budget, err := readBudget(*budgetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdslint: %v\n", err)
+			return 2
+		}
+		if msgs := bdslint.CheckBudget(report, budget); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(os.Stderr, "bdslint: %s\n", m)
+			}
+			status = 1
+		}
+	}
+	return status
+}
+
+// writeReport marshals the ignore-accounting report to path ("-" = stdout).
+func writeReport(path string, report *bdslint.IgnoreReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// readBudget parses the committed per-rule ignore budget. The file uses
+// the same shape -report emits, so regenerating the budget after a
+// deliberate change is `bdslint -report <budget-path> ./...`.
+func readBudget(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var budget bdslint.IgnoreReport
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return nil, fmt.Errorf("parsing budget %s: %v", path, err)
+	}
+	return budget.PerRule, nil
 }

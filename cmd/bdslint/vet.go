@@ -125,13 +125,18 @@ func vetUnit(cfgPath string) int {
 		Types: tpkg,
 		Info:  info,
 	}
+	known := bdslint.KnownRules()
 	var diags []analysis.Diagnostic
-	diags = append(diags, analysis.CheckDirectives(pkg, bdslint.KnownRules())...)
+	diags = append(diags, analysis.CheckDirectives(pkg, known)...)
+	// Share one directive set across the suite so stale-ignore detection
+	// sees which directives matched any analyzer (same flow as LintModule).
+	ds := analysis.NewDirectiveSet(pkg)
 	for _, a := range bdslint.Suite() {
 		if a.AppliesTo(importPathForGuard(cfg.ImportPath)) {
-			diags = append(diags, analysis.RunAnalyzer(a, pkg)...)
+			diags = append(diags, analysis.RunAnalyzerWith(a, pkg, ds)...)
 		}
 	}
+	diags = append(diags, ds.Stale(known)...)
 	analysis.SortDiagnostics(diags)
 	writeVetx()
 	if len(diags) > 0 {

@@ -175,7 +175,7 @@ func runCompare(w io.Writer, basePath, curPath string, th thresholds) error {
 		return err
 	}
 	names := make([]string, 0, len(base.Benchmarks))
-	//bdslint:ignore maporder keys collected then sorted before use
+	// Keys collected then sorted before use.
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}

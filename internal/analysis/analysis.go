@@ -138,12 +138,83 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*ignoreDirective 
 	return out
 }
 
+// DirectiveSet holds one package's parsed ignore directives together with
+// their usage state. Sharing one set across every analyzer that runs on the
+// package is what makes stale-ignore detection possible: a directive is
+// stale only if NO analyzer in the whole suite matched it, so the matched
+// flags must accumulate across analyzers instead of being reparsed per run.
+type DirectiveSet struct {
+	fset *token.FileSet
+	dirs []*ignoreDirective
+}
+
+// NewDirectiveSet parses the package's bdslint:ignore directives once, for
+// use across every analyzer the driver runs on the package.
+func NewDirectiveSet(pkg *Package) *DirectiveSet {
+	return &DirectiveSet{fset: pkg.Fset, dirs: parseDirectives(pkg.Fset, pkg.Files)}
+}
+
+// DirectiveInfo is the reporting view of one parsed ignore directive.
+type DirectiveInfo struct {
+	File    string
+	Line    int
+	Rule    string
+	Reason  string
+	Matched bool
+}
+
+// Directives returns the set's directives (non-test files only) for
+// suppression accounting: the driver's -report aggregates these into
+// per-rule counts and the stale list.
+func (ds *DirectiveSet) Directives() []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, d := range ds.dirs {
+		if strings.HasSuffix(d.file, "_test.go") {
+			continue
+		}
+		out = append(out, DirectiveInfo{File: d.file, Line: d.line, Rule: d.rule, Reason: d.reason, Matched: d.matched})
+	}
+	return out
+}
+
+// Stale returns a finding for every well-formed directive that suppressed
+// nothing after the whole suite ran: the site it once justified is gone (or
+// the rule never applied to the package), so the directive is dead weight
+// that would silently excuse a future violation. Malformed directives
+// (unknown rule, missing justification) are CheckDirectives' findings, not
+// stale ones. Call only after every applicable analyzer has run against the
+// set.
+func (ds *DirectiveSet) Stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds.dirs {
+		if strings.HasSuffix(d.file, "_test.go") {
+			continue
+		}
+		if d.rule == "" || !known[d.rule] || d.reason == "" || d.matched {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     ds.fset.Position(d.pos),
+			Rule:    "directive",
+			Message: fmt.Sprintf("stale bdslint:ignore %s — it suppresses no finding; delete it", d.rule),
+		})
+	}
+	return out
+}
+
 // RunAnalyzer executes one analyzer over a loaded package and returns its
 // findings with the package's ignore directives already applied: a
 // diagnostic whose line (or the line above it) carries a matching directive
 // with a justification is suppressed. Diagnostics landing in _test.go files
 // are dropped — bdslint governs non-test code only.
 func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	return RunAnalyzerWith(a, pkg, NewDirectiveSet(pkg))
+}
+
+// RunAnalyzerWith is RunAnalyzer against a caller-owned directive set, so a
+// driver running the full suite over one package can account for which
+// directives matched across all analyzers (the input to Stale).
+func RunAnalyzerWith(a *Analyzer, pkg *Package, ds *DirectiveSet) []Diagnostic {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -153,13 +224,12 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 		Path:      pkg.Path,
 	}
 	a.Run(pass)
-	dirs := parseDirectives(pkg.Fset, pkg.Files)
 	var kept []Diagnostic
 	for _, d := range pass.diags {
 		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
 			continue
 		}
-		if suppressed(d, a.Name, dirs) {
+		if suppressed(d, a.Name, ds.dirs) {
 			continue
 		}
 		kept = append(kept, d)

@@ -1,15 +1,21 @@
 // Package bdslint assembles the determinism-contract invariant suite: the
-// maporder, noclock, roview, and spawn analyzers plus validation of the
-// //bdslint:ignore exemption directives. The cmd/bdslint driver and the
-// in-repo self-lint test both run through LintModule, so CI and `go test`
-// enforce the same rules.
+// maporder, noclock, roview, spawn, idmap, and hotalloc analyzers plus
+// validation of the //bdslint:ignore exemption directives — including
+// stale-ignore detection (a justified directive that suppresses nothing is
+// itself a finding) and the suppression-accounting report the CI budget
+// gate consumes. The cmd/bdslint driver and the in-repo self-lint test both
+// run through LintModule, so CI and `go test` enforce the same rules.
 package bdslint
 
 import (
+	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/idmap"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/noclock"
 	"repro/internal/analysis/roview"
@@ -23,6 +29,8 @@ func Suite() []*analysis.Analyzer {
 		noclock.Analyzer,
 		roview.Analyzer,
 		spawn.Analyzer,
+		idmap.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 
@@ -35,21 +43,53 @@ func KnownRules() map[string]bool {
 	return out
 }
 
+// IgnoreReport is the suppression-accounting summary `bdslint -report`
+// emits: how many justified //bdslint:ignore directives exist per rule, and
+// which of them are stale. Stale directives also surface as failing
+// diagnostics; the report just makes the same facts machine-readable for
+// the CI budget gate and the build-artifact line.
+type IgnoreReport struct {
+	// PerRule counts justified ignore directives by the rule they cite
+	// (unknown-rule and justification-less directives are excluded — those
+	// are malformed, and fail the lint outright).
+	PerRule map[string]int `json:"per_rule"`
+	// Total is the sum over PerRule.
+	Total int `json:"total"`
+	// Stale lists directives that suppressed no finding after the whole
+	// suite ran.
+	Stale []StaleIgnore `json:"stale,omitempty"`
+}
+
+// StaleIgnore locates one directive that no longer suppresses anything.
+type StaleIgnore struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+}
+
 // LintModule type-checks every package of the module at (or above) dir and
 // runs the suite over it: each analyzer on the packages it guards, plus
-// directive validation everywhere. patterns filters the packages by
-// module-relative directory ("./...", "./internal/core", "internal/core/...");
-// empty or "./..." selects everything. Findings come back sorted.
+// directive validation and stale-ignore detection everywhere. patterns
+// filters the packages by module-relative directory ("./...",
+// "./internal/core", "internal/core/..."); empty or "./..." selects
+// everything. Findings come back sorted.
 func LintModule(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	diags, _, err := LintModuleReport(dir, patterns)
+	return diags, err
+}
+
+// LintModuleReport is LintModule plus the suppression-accounting report.
+func LintModuleReport(dir string, patterns []string) ([]analysis.Diagnostic, *IgnoreReport, error) {
 	l, err := analysis.NewModuleLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pkgs, err := l.LoadModule()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	known := KnownRules()
+	report := &IgnoreReport{PerRule: make(map[string]int)}
 	var diags []analysis.Diagnostic
 	for _, p := range pkgs {
 		rel, err := filepath.Rel(l.ModuleRoot, p.Dir)
@@ -57,14 +97,56 @@ func LintModule(dir string, patterns []string) ([]analysis.Diagnostic, error) {
 			continue
 		}
 		diags = append(diags, analysis.CheckDirectives(p, known)...)
+		// One directive set per package, shared by every analyzer: stale
+		// detection needs the matched flags to accumulate across the suite.
+		ds := analysis.NewDirectiveSet(p)
 		for _, a := range Suite() {
 			if a.AppliesTo(p.Path) {
-				diags = append(diags, analysis.RunAnalyzer(a, p)...)
+				diags = append(diags, analysis.RunAnalyzerWith(a, p, ds)...)
+			}
+		}
+		diags = append(diags, ds.Stale(known)...)
+		for _, d := range ds.Directives() {
+			if d.Rule == "" || !known[d.Rule] || d.Reason == "" {
+				continue
+			}
+			report.PerRule[d.Rule]++
+			report.Total++
+			if !d.Matched {
+				report.Stale = append(report.Stale, StaleIgnore{File: d.File, Line: d.Line, Rule: d.Rule})
 			}
 		}
 	}
 	analysis.SortDiagnostics(diags)
-	return diags, nil
+	sort.Slice(report.Stale, func(i, j int) bool {
+		a, b := report.Stale[i], report.Stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return diags, report, nil
+}
+
+// CheckBudget compares the report against the committed per-rule ignore
+// budget and returns one message per rule whose justified-ignore count grew
+// past its allowance. Shrinking below budget is fine (the budget is a
+// ceiling, re-emitted by the in-repo test's -update flag when ignores are
+// legitimately removed); growing past it means a new exemption slipped in
+// without the budget file being updated in the same change.
+func CheckBudget(report *IgnoreReport, budget map[string]int) []string {
+	var rules []string
+	for r := range report.PerRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	var out []string
+	for _, r := range rules {
+		if n, allowed := report.PerRule[r], budget[r]; n > allowed {
+			out = append(out, fmt.Sprintf("rule %s has %d justified ignores, budget allows %d — justify the growth by updating testdata/lint/ignore_budget.json in the same change", r, n, allowed))
+		}
+	}
+	return out
 }
 
 // selected reports whether the module-relative directory matches any

@@ -1,10 +1,18 @@
 package bdslint
 
 import (
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/idmap"
 )
+
+var update = flag.Bool("update", false, "rewrite testdata/lint/ignore_budget.json from the live module")
 
 // TestRepoIsClean lints the live module: every map range, clock read,
 // goroutine, and Reader use in the guarded packages must be either
@@ -68,7 +76,9 @@ import (
 	"repro/internal/network"
 )
 
-// Bad trips every rule in the suite once.
+// Bad trips every runtime-behavior rule in the suite once. Its own
+// signature mentions a string-keyed map, so idmap exempts the body — the
+// idmap seed lives in lookup below.
 func Bad(r network.Reader, m map[string]int) time.Time {
 	total := 0
 	for _, v := range m { // unsorted map range
@@ -82,11 +92,36 @@ func Bad(r network.Reader, m map[string]int) time.Time {
 	}
 	return time.Now() // wall-clock read
 }
+
+// lookup allocates per-signal state keyed by name inside a hot-path
+// package: the idmap seed.
+func lookup(names []string) int {
+	seen := make(map[string]bool, len(names))
+	for _, s := range names {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+// Hot claims the no-allocation discipline and then allocates: the
+// hotalloc seed.
+//
+//bdslint:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+// stale: a justified directive citing a known rule that suppresses
+// nothing must itself be reported (and show up in the report's Stale
+// list).
+//
+//bdslint:ignore noclock justified but matches no finding
+var calls int
 `)
 
-	diags, err := LintModule(dir, []string{"./..."})
+	diags, report, err := LintModuleReport(dir, []string{"./..."})
 	if err != nil {
-		t.Fatalf("LintModule: %v", err)
+		t.Fatalf("LintModuleReport: %v", err)
 	}
 	got := make(map[string]int)
 	for _, d := range diags {
@@ -94,17 +129,95 @@ func Bad(r network.Reader, m map[string]int) time.Time {
 		t.Logf("finding: %s", d.String())
 	}
 	// maporder fires twice: the seeded range and the one under the invalid
-	// (reason-less) directive, which must not be suppressed.
+	// (reason-less) directive, which must not be suppressed. directive
+	// fires twice: the reason-less directive and the stale noclock one.
 	wantAtLeast := map[string]int{
 		"maporder":  2,
 		"noclock":   1,
 		"spawn":     1,
 		"roview":    1,
-		"directive": 1,
+		"idmap":     1,
+		"hotalloc":  1,
+		"directive": 2,
 	}
 	for rule, n := range wantAtLeast {
 		if got[rule] < n {
 			t.Errorf("rule %s: got %d finding(s), want at least %d", rule, got[rule], n)
 		}
+	}
+	// The stale directive must be accounted in the report too.
+	if len(report.Stale) != 1 || report.Stale[0].Rule != "noclock" {
+		t.Errorf("report.Stale = %+v, want exactly the seeded stale noclock directive", report.Stale)
+	}
+	if report.PerRule["noclock"] != 1 {
+		t.Errorf("report.PerRule[noclock] = %d, want 1 (stale directives still count as justified ignores)", report.PerRule["noclock"])
+	}
+}
+
+// TestRepoIsIDMapClean runs the idmap analyzer alone over its guarded
+// packages in the live module: since the dense-ID refactor, every
+// string-keyed map left in internal/core, internal/network, and
+// internal/netlist must carry a justified ignore naming why it is boundary
+// state.
+func TestRepoIsIDMapClean(t *testing.T) {
+	l, err := analysis.NewModuleLoader(".")
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	guarded := 0
+	for _, p := range pkgs {
+		if !idmap.Analyzer.AppliesTo(p.Path) {
+			continue
+		}
+		guarded++
+		for _, d := range analysis.RunAnalyzer(idmap.Analyzer, p) {
+			t.Errorf("%s", d.String())
+		}
+	}
+	if guarded == 0 {
+		t.Fatal("idmap guards no loaded package — guard list and module layout have diverged")
+	}
+}
+
+// TestIgnoreBudgetMatchesReality pins the committed per-rule ignore budget
+// to the live module's actual counts: any drift — a new exemption, or a
+// removed one whose headroom would otherwise linger — fails until the
+// budget file is regenerated with `go test ./internal/analysis/bdslint
+// -run TestIgnoreBudgetMatchesReality -update`.
+func TestIgnoreBudgetMatchesReality(t *testing.T) {
+	const budgetPath = "../../../testdata/lint/ignore_budget.json"
+	_, report, err := LintModuleReport(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("LintModuleReport: %v", err)
+	}
+	if len(report.Stale) > 0 {
+		t.Fatalf("stale ignores present: %+v (fix them before regenerating the budget)", report.Stale)
+	}
+	if *update {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(budgetPath, append(data, '\n'), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", budgetPath)
+		return
+	}
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		t.Fatalf("reading committed budget: %v", err)
+	}
+	var budget IgnoreReport
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatalf("parsing committed budget: %v", err)
+	}
+	if !reflect.DeepEqual(budget.PerRule, report.PerRule) || budget.Total != report.Total {
+		t.Errorf("committed budget %+v (total %d) != live ignore counts %+v (total %d); regenerate with -update",
+			budget.PerRule, budget.Total, report.PerRule, report.Total)
 	}
 }

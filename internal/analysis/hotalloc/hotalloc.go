@@ -1,0 +1,208 @@
+// Package hotalloc implements the bdslint analyzer behind the
+// //bdslint:hotpath annotation. PR 5's allocation war cut Substitute's
+// allocs/op 6.1×, but that win was protected only by a warn-only bench
+// gate; hotalloc makes it reviewable statically. A function whose doc
+// comment carries
+//
+//	//bdslint:hotpath
+//
+// declares itself allocation-free per call, and the analyzer flags every
+// syntactic construct inside it that defeats that claim:
+//
+//   - map composite literals and make calls (a fresh backing per call —
+//     hoist it into scratch state reused across calls)
+//   - append to a slice the function itself declared nil (growth from zero
+//     every call; appends to caller- or scratch-owned backings are fine)
+//   - calls into package fmt (Sprintf and friends allocate their result and
+//     box operands)
+//   - string concatenation (+ / += on strings builds garbage)
+//   - function literals that capture enclosing variables (the closure and
+//     its captures are heap candidates)
+//
+// The check is syntactic and local by design: it does not chase callees and
+// it does not run escape analysis, so a flagged site is "this construct has
+// no place in a function you annotated hot", not a proof of a heap hit. A
+// deliberate exception (an audit-only branch, a grow-once path) carries a
+// justified //bdslint:ignore hotalloc. Unannotated functions are never
+// inspected, so the analyzer is opt-in per function and guards every
+// package.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// HotpathDirective is the doc-comment marker that opts a function into the
+// no-allocation discipline.
+const HotpathDirective = "//bdslint:hotpath"
+
+// Analyzer flags alloc-inducing constructs inside //bdslint:hotpath
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //bdslint:hotpath must not contain alloc-inducing constructs: " +
+		"map literals, make calls, append on a fresh nil slice, fmt calls, string " +
+		"concatenation, or capturing closures",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+// annotated reports whether the function's doc comment carries the hotpath
+// directive.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	freshNil := freshNilSlices(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(x)
+			if t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(x.Pos(), "map literal in a hotpath function allocates on every call")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x, freshNil)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(pass.TypesInfo.TypeOf(x)) {
+				pass.Reportf(x.Pos(), "string concatenation in a hotpath function builds garbage on every call")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(x.Lhs[0])) {
+				pass.Reportf(x.Pos(), "string concatenation in a hotpath function builds garbage on every call")
+			}
+		case *ast.FuncLit:
+			if name, ok := captures(pass, x); ok {
+				pass.Reportf(x.Pos(), "function literal in a hotpath function captures %s — the closure is a heap candidate", name)
+			}
+			return false // the literal runs elsewhere; one finding per closure
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, freshNil map[types.Object]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		if _, builtin := obj.(*types.Builtin); !builtin {
+			return
+		}
+		switch fun.Name {
+		case "make":
+			pass.Reportf(call.Pos(), "make in a hotpath function allocates a fresh backing on every call — hoist it into reused scratch state")
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok && freshNil[pass.TypesInfo.Uses[id]] {
+				pass.Reportf(call.Pos(), "append on %s grows a fresh nil slice on every call — reuse a scratch-owned backing", id.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in a hotpath function allocates its result and boxes operands", fun.Sel.Name)
+		}
+	}
+}
+
+// freshNilSlices collects the objects of locals declared `var x []T` with no
+// initializer: appending to one of those grows from zero on every call.
+func freshNilSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			at, isSlice := vs.Type.(*ast.ArrayType)
+			if !isSlice || at.Len != nil {
+				continue
+			}
+			for _, name := range vs.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isString reports whether t's underlying type is a string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// captures reports whether the function literal reads a variable declared
+// outside its own body (but inside the file — package-level state is shared,
+// not captured). Returns the first captured variable's name.
+func captures(pass *analysis.Pass, fl *ast.FuncLit) (string, bool) {
+	var name string
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are shared state, not captures.
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			name, found = id.Name, true
+			return false
+		}
+		return true
+	})
+	return name, found
+}

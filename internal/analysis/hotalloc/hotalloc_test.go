@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+// TestHotAlloc runs the analyzer over its fixture package: every
+// alloc-inducing construct inside an annotated function must be found;
+// unannotated functions, clean constructs, and justified ignores must not.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotalloc")
+}

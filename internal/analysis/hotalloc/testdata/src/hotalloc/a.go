@@ -1,0 +1,108 @@
+// Package hotalloc is the analyzer fixture: alloc-inducing constructs
+// inside annotated functions, and the shapes that stay exempt.
+package hotalloc
+
+import "fmt"
+
+type scratch struct {
+	buf  []int
+	gen  []uint64
+	name string
+}
+
+// mapLit builds a map literal per call: flagged.
+//
+//bdslint:hotpath
+func mapLit() map[int]bool {
+	return map[int]bool{1: true} // want "map literal in a hotpath function"
+}
+
+// makes allocates fresh backings per call: flagged.
+//
+//bdslint:hotpath
+func makes(n int) {
+	m := make(map[int]int) // want "make in a hotpath function"
+	_ = m
+	s := make([]int, n) // want "make in a hotpath function"
+	_ = s
+}
+
+// freshAppend grows a function-local nil slice from zero every call:
+// flagged. Appending to a caller- or scratch-owned backing is not.
+//
+//bdslint:hotpath
+func freshAppend(sc *scratch, in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v) // want "grows a fresh nil slice"
+	}
+	sc.buf = append(sc.buf, 1)
+	in = append(in, 2)
+	return out
+}
+
+// format calls into fmt: flagged.
+//
+//bdslint:hotpath
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf in a hotpath function"
+}
+
+// concat builds strings per call: both forms flagged.
+//
+//bdslint:hotpath
+func concat(a, b string) string {
+	s := a + b // want "string concatenation in a hotpath function"
+	s += a     // want "string concatenation in a hotpath function"
+	return s
+}
+
+// closure captures an enclosing local: flagged once, at the literal.
+//
+//bdslint:hotpath
+func closure(n int) func() int {
+	return func() int { // want "captures n"
+		return n + 1
+	}
+}
+
+// pureClosure captures nothing: no finding.
+//
+//bdslint:hotpath
+func pureClosure() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// clean indexes and adds integers only: no finding.
+//
+//bdslint:hotpath
+func clean(sc *scratch, id int) int {
+	sc.gen[id]++
+	return sc.buf[id] + 1
+}
+
+// unannotated functions are never inspected, whatever they allocate.
+func unannotated(n int) map[string]int {
+	m := make(map[string]int, n)
+	m["x"] = n
+	return m
+}
+
+// justified carries a reasoned ignore on the cold branch: suppressed.
+//
+//bdslint:hotpath
+func justified(audit bool, n int) string {
+	if audit {
+		//bdslint:ignore hotalloc audit-only branch, never taken in production runs
+		return fmt.Sprintf("audit n=%d", n)
+	}
+	return ""
+}
+
+// unjustified carries a bare ignore with no reason: it must NOT suppress.
+//
+//bdslint:hotpath
+func unjustified(n int) []int {
+	//bdslint:ignore hotalloc
+	return make([]int, n) // want "make in a hotpath function"
+}

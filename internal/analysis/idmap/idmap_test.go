@@ -1,0 +1,15 @@
+package idmap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/idmap"
+)
+
+// TestIDMap runs the analyzer over its fixture package: every string-keyed
+// map declaration, literal, and make must be found; boundary-signature
+// bodies, non-string maps, and justified ignores must not.
+func TestIDMap(t *testing.T) {
+	analysistest.Run(t, "testdata", idmap.Analyzer, "idmap")
+}

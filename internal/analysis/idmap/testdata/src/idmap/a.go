@@ -1,0 +1,83 @@
+// Package idmap is the analyzer fixture: string-keyed map sites that must
+// be flagged, and the boundary shapes that must not.
+package idmap
+
+type node struct{ name string }
+
+// planner holds per-signal state: the field form is flagged.
+type planner struct {
+	seen map[string]bool // want "string-keyed map field"
+	ids  []int32
+}
+
+// index is a named string-keyed map type: flagged.
+type index map[string]int // want "string-keyed map type"
+
+// byID is an int-keyed map: no finding (only string keys regress to name
+// hashing).
+type byID map[int32]*node
+
+// declare uses the explicit-type var form: flagged.
+func declare() {
+	var cache map[string]*node // want "string-keyed map declaration"
+	_ = cache
+}
+
+// literal builds a string-keyed composite literal: flagged.
+func literal() map[int]string {
+	m := map[string]int{"a": 1} // want "string-keyed map literal"
+	_ = m
+	// Value type string with non-string key: no finding.
+	return map[int]string{1: "a"}
+}
+
+// build makes a string-keyed map: flagged.
+func build(n int) {
+	m := make(map[string]*node, n) // want "make of a string-keyed map"
+	_ = m
+	// Non-map make calls are not idmap's business.
+	s := make([]string, n)
+	_ = s
+}
+
+// Fanouts mentions a string-keyed map in its own signature: it IS the
+// name-keyed boundary API, so its body is exempt wholesale.
+func Fanouts(order []string) map[string][]string {
+	out := make(map[string][]string, len(order))
+	aux := map[string]int{}
+	_ = aux
+	return out
+}
+
+// Simulate takes a name-keyed map: boundary, body exempt.
+func Simulate(piWords map[string]uint64) []uint64 {
+	scratch := make(map[string]uint64)
+	_ = scratch
+	return nil
+}
+
+// iface declares boundary APIs in an interface: signatures do not
+// allocate, no finding.
+type iface interface {
+	Fanouts() map[string][]string
+	Levels() map[string]int
+}
+
+// callback declares a function-type field: signatures are exempt.
+type callback struct {
+	fn func(map[string]int) map[string]bool
+}
+
+// justified carries a reasoned ignore: suppressed.
+func justified() {
+	//bdslint:ignore idmap fixture-sanctioned boundary table
+	m := make(map[string]int)
+	_ = m
+}
+
+// unjustified carries a bare ignore with no reason: it must NOT suppress.
+func unjustified() {
+	//bdslint:ignore idmap
+	m := make(map[string]int) // want "make of a string-keyed map"
+	_ = m
+}

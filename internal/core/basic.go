@@ -379,15 +379,14 @@ func localScope(b *netlist.Build, nl *netlist.Netlist, f, d string) map[int]bool
 	return scope
 }
 
+// unionSignals returns a followed by b's signals not already in a,
+// preserving first-appearance order. Fanin lists are a handful of signals,
+// so a linear containment scan beats allocating a hash set per call on the
+// trial path.
 func unionSignals(a, b []string) []string {
 	out := append([]string(nil), a...)
-	seen := make(map[string]bool, len(a))
-	for _, s := range a {
-		seen[s] = true
-	}
 	for _, s := range b {
-		if !seen[s] {
-			seen[s] = true
+		if indexOf(out, s) < 0 {
 			out = append(out, s)
 		}
 	}

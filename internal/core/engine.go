@@ -79,11 +79,14 @@ func (p *plan) isNode() bool { return p.work == nil }
 // shared base build every overlay trial of the wave patches — and, under
 // Options.Audit, re-runs the whole trial on the historical deep-clone path
 // and panics unless the two plans agree byte-for-byte.
+//
+//bdslint:hotpath
 func planPair(sc *scratch, nw network.Reader, f string, cand candidate, opt Options) (plan, bool) {
 	sc.noOverlay = opt.NoOverlay
 	sc.pin = nw
 	p, ok := planPairImpl(sc, nw, f, cand, opt)
 	if opt.Audit && !opt.NoOverlay {
+		//bdslint:ignore hotalloc Audit-only branch: the label and re-trial closure exist only in the testing/debug cross-check mode
 		auditOverlayTrial(sc, p, ok, fmt.Sprintf("f=%s d=%s", f, cand.name), func(aopt Options) (plan, bool) {
 			return planPairImpl(sc, nw, f, cand, aopt)
 		}, opt)
@@ -120,7 +123,8 @@ func auditOverlayTrial(sc *scratch, got plan, gotOK bool, site string, run func(
 func planPairImpl(sc *scratch, nw network.Reader, f string, cand candidate, opt Options) (plan, bool) {
 	d := cand.name
 	fn := nw.Node(f)
-	costBefore := sc.factorLits(f, fn.Cover)
+	fid, _ := nw.IDOf(f)
+	costBefore := sc.factorLits(fid, fn.Cover)
 	// Windowed division: bound the sub-network the division sees.
 	nwd := nw
 	if opt.WindowDepth > 0 {
@@ -164,7 +168,8 @@ func planPairImpl(sc *scratch, nw network.Reader, f string, cand candidate, opt 
 
 	default: // Extended / ExtendedGDC
 		dn := nw.Node(d)
-		before := costBefore + sc.factorLits(d, dn.Cover)
+		did, _ := nw.IDOf(d)
+		before := costBefore + sc.factorLits(did, dn.Cover)
 
 		// Extended division generalizes basic division; evaluate both and
 		// keep the better (the core-selection heuristic can otherwise pick
@@ -229,15 +234,16 @@ func planPooled(sc *scratch, nw network.Reader, f string, cands []candidate, opt
 	return p, ok
 }
 
-// planPooledImpl is planPooled's trial body.
+// planPooledImpl is planPooled's trial body. The candidate dedup and the
+// touched-name set are plain slice scans: the pool is capped at four
+// entries, so linear containment beats hashing and the bookkeeping
+// allocates nothing beyond the name lists the plan carries anyway.
 func planPooledImpl(sc *scratch, nw network.Reader, f string, cands []candidate, opt Options) (plan, bool) {
 	var pool []string
-	seen := map[string]bool{}
 	for _, c := range cands {
-		if c.pos || c.neg || seen[c.name] {
+		if c.pos || c.neg || indexOf(pool, c.name) >= 0 {
 			continue
 		}
-		seen[c.name] = true
 		pool = append(pool, c.name)
 		if len(pool) == 4 {
 			break
@@ -248,10 +254,11 @@ func planPooledImpl(sc *scratch, nw network.Reader, f string, cands []candidate,
 	}
 	fn := nw.Node(f)
 	before := algebraic.FactorLits(fn.Cover)
-	touched := map[string]bool{f: true}
+	names := make([]string, 0, len(pool)+2)
+	names = append(names, f)
 	for _, d := range pool {
 		before += algebraic.FactorLits(nw.Node(d).Cover)
-		touched[d] = true
+		names = append(names, d)
 	}
 	work, res, dec, ok := pooledExtendedDivide(sc, nw, f, pool, opt.Config)
 	if !ok {
@@ -261,22 +268,16 @@ func planPooledImpl(sc *scratch, nw network.Reader, f string, cands []candidate,
 	if dec != nil && work.Node(dec.CoreName) != nil {
 		after += algebraic.FactorLits(work.Node(dec.CoreName).Cover)
 	}
-	//bdslint:ignore maporder order-invisible sum: integer addition commutes
-	for name := range touched {
+	for _, name := range names {
 		if n := work.Node(name); n != nil {
 			after += algebraic.FactorLits(n.Cover)
 		}
 	}
 	if dec != nil {
-		touched[dec.CoreName] = true
+		names = append(names, dec.CoreName)
 	}
 	if before-after <= 0 {
 		return plan{}, false
-	}
-	names := make([]string, 0, len(touched))
-	//bdslint:ignore maporder keys collected then sorted before use
-	for name := range touched {
-		names = append(names, name)
 	}
 	sort.Strings(names)
 	return plan{
@@ -296,12 +297,12 @@ func planPooledImpl(sc *scratch, nw network.Reader, f string, cands []candidate,
 func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *sigCache, st *Stats) bool {
 	invalidate := func() {
 		if p.isNode() {
-			cc.invalidate(p.target)
+			cc.invalidate(nw, p.target)
 			sigs.invalidate(p.target)
 			return
 		}
 		for _, name := range p.touched {
-			cc.invalidate(name)
+			cc.invalidate(nw, name)
 			sigs.invalidate(name)
 		}
 	}

@@ -208,18 +208,18 @@ func pooledExtendedDivide(sc *scratch, nw network.Reader, f string, divisors []s
 		return nil, nil, nil, false
 	}
 
-	// Which nodes contribute to the core?
-	contrib := map[string]uint64{}
+	// Which nodes contribute to the core? The pool holds at most four
+	// entries, so the contributing-node set is a slice scan rather than a
+	// map (and its first-appearance order is the pool's deterministic order
+	// for free).
+	var contribNodes []string
 	for k := range pool {
-		if mask&(1<<k) != 0 {
-			contrib[pool[k].Node] |= 1 << pool[k].CubeIdx
+		if mask&(1<<k) != 0 && indexOf(contribNodes, pool[k].Node) < 0 {
+			contribNodes = append(contribNodes, pool[k].Node)
 		}
 	}
-	if len(contrib) == 1 {
-		//bdslint:ignore maporder single-entry map: exactly one iteration, no order
-		for d := range contrib {
-			return extendedDivide(sc, nw, f, d, cfg)
-		}
+	if len(contribNodes) == 1 {
+		return extendedDivide(sc, nw, f, contribNodes[0], cfg)
 	}
 
 	// Cross-node core: materialize it as a standalone node over the union

@@ -91,66 +91,94 @@ func posDivide(sc *scratch, nw network.Reader, f, d string, cfg Config, maxCompl
 	return out, true
 }
 
+// complEntry is one node's slot in the complement cache: the complement
+// cover, its minimized form (signature prefilter), its literal signatures
+// (candidate enumeration), and the bad mark (complement too big, zero, or
+// node gone). The has* flags distinguish "never computed" from a cached
+// zero value.
+type complEntry struct {
+	has    bool
+	hasMin bool
+	hasSig bool
+	bad    bool
+	cov    cube.Cover
+	min    cube.Cover
+	sigs   [][]sigLit
+}
+
 // complCache memoizes per-node complement covers during a substitution
-// pass. It lives on the serial side of the engine (candidate enumeration
-// and commit); planners never touch it, so it needs no locking. The
-// hit/miss counters feed Stats.
+// pass, indexed by the live network's dense SigID (the symbol table is
+// append-only, so a node's ID — unlike its map hash — is stable across
+// commits and rebinds to the same slot if the name is ever re-added). It
+// lives on the serial side of the engine (candidate enumeration and
+// commit); planners never touch it, so it needs no locking. The hit/miss
+// counters feed Stats.
 type complCache struct {
 	max          int
-	m            map[string]cube.Cover
-	mm           map[string]cube.Cover // minimized complements (signature prefilter)
-	sg           map[string][][]sigLit // literal signatures of m[name] (candidate enumeration)
-	bad          map[string]bool
+	e            []complEntry
 	hits, misses int
 }
 
 func newComplCache(max int) *complCache {
-	return &complCache{
-		max: max,
-		m:   make(map[string]cube.Cover),
-		mm:  make(map[string]cube.Cover),
-		sg:  make(map[string][][]sigLit),
-		bad: make(map[string]bool),
+	return &complCache{max: max}
+}
+
+// slot grows the entry arena to cover id and returns its entry.
+func (cc *complCache) slot(id network.SigID) *complEntry {
+	for int(id) >= len(cc.e) {
+		cc.e = append(cc.e, complEntry{})
 	}
+	return &cc.e[id]
 }
 
 // getSigs returns the literal signatures of name's complement cover against
 // the node's fanins, memoized with the complement itself (and invalidated
 // with it — the fanin list is part of the node state the commit touched).
+//
+//bdslint:hotpath
 func (cc *complCache) getSigs(nw network.Reader, name string, fanins []string) ([][]sigLit, cube.Cover, bool) {
 	c, ok := cc.get(nw, name)
 	if !ok {
 		return nil, cube.Cover{}, false
 	}
-	if s, ok := cc.sg[name]; ok {
-		return s, c, true
+	id, _ := nw.IDOf(name) // interned: get just cached its complement
+	e := cc.slot(id)
+	if e.hasSig {
+		return e.sigs, c, true
 	}
-	s := coverSigs(c, fanins)
-	cc.sg[name] = s
-	return s, c, true
+	e.sigs = coverSigs(c, fanins)
+	e.hasSig = true
+	return e.sigs, c, true
 }
 
+//bdslint:hotpath
 func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
-	if cc.bad[name] {
-		cc.hits++
-		return cube.Cover{}, false
-	}
-	if c, ok := cc.m[name]; ok {
-		cc.hits++
-		return c, true
+	id, interned := nw.IDOf(name)
+	if interned && int(id) < len(cc.e) {
+		if e := &cc.e[id]; e.bad {
+			cc.hits++
+			return cube.Cover{}, false
+		} else if e.has {
+			cc.hits++
+			return e.cov, true
+		}
 	}
 	cc.misses++
 	n := nw.Node(name)
 	if n == nil {
-		cc.bad[name] = true
+		if interned {
+			cc.slot(id).bad = true
+		}
 		return cube.Cover{}, false
 	}
 	c := n.Cover.Complement()
+	e := cc.slot(id)
 	if c.NumCubes() > cc.max || c.IsZero() {
-		cc.bad[name] = true
+		e.bad = true
 		return cube.Cover{}, false
 	}
-	cc.m[name] = c
+	e.cov = c
+	e.has = true
 	return c, true
 }
 
@@ -158,21 +186,22 @@ func (cc *complCache) get(nw network.Reader, name string) (cube.Cover, bool) {
 // Minimize(Complement(...)) produces — memoized alongside the plain
 // complement. The returned cover is shared: callers must not mutate it.
 func (cc *complCache) getMin(nw network.Reader, name string) (cube.Cover, bool) {
-	if c, ok := cc.mm[name]; ok {
-		return c, true
+	if id, ok := nw.IDOf(name); ok && int(id) < len(cc.e) && cc.e[id].hasMin {
+		return cc.e[id].min, true
 	}
 	raw, ok := cc.get(nw, name)
 	if !ok {
 		return cube.Cover{}, false
 	}
-	c := mini.Minimize(raw.Clone(), mini.Options{})
-	cc.mm[name] = c
-	return c, true
+	id, _ := nw.IDOf(name) // interned: get succeeded on a live node
+	e := cc.slot(id)
+	e.min = mini.Minimize(raw.Clone(), mini.Options{})
+	e.hasMin = true
+	return e.min, true
 }
 
-func (cc *complCache) invalidate(name string) {
-	delete(cc.m, name)
-	delete(cc.mm, name)
-	delete(cc.sg, name)
-	delete(cc.bad, name)
+func (cc *complCache) invalidate(nw network.Reader, name string) {
+	if id, ok := nw.IDOf(name); ok && int(id) < len(cc.e) {
+		cc.e[id] = complEntry{}
+	}
 }

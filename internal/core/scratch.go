@@ -61,10 +61,15 @@ type scratch struct {
 	// flits memoizes FactorLits of LIVE network nodes per (pinned reader,
 	// commit epoch): within an epoch nothing mutates the live network, so
 	// the factored cost of a node (the before-cost every trial of a wave
-	// recomputes) is a pure function of its name. Cleared lazily when the
-	// pin or the epoch changes; holding flitsFor keeps the reader alive, so
-	// the identity comparison cannot be fooled by address reuse.
-	flits      map[string]int
+	// recomputes) is a pure function of its SigID. The arena is
+	// SigID-indexed with per-slot generation stamps — a slot is valid only
+	// while flitsGen[id] == flitsCur — so a pin or epoch change invalidates
+	// every entry by bumping flitsCur in O(1) instead of reallocating.
+	// Holding flitsFor keeps the reader alive, so the identity comparison
+	// cannot be fooled by address reuse.
+	flits      []int
+	flitsGen   []uint64
+	flitsCur   uint64
 	flitsFor   network.Reader
 	flitsEpoch uint64
 }
@@ -80,6 +85,8 @@ func newScratch() *scratch {
 
 // engine returns the scratch's implication engine for nl rebound with the
 // given options, creating it on first use of that arena.
+//
+//bdslint:hotpath
 func (sc *scratch) engine(nl *netlist.Netlist, opt atpg.Options) *atpg.Engine {
 	if e := sc.engines[nl]; e != nil {
 		e.Rebind(nl, opt)
@@ -90,20 +97,27 @@ func (sc *scratch) engine(nl *netlist.Netlist, opt atpg.Options) *atpg.Engine {
 	return e
 }
 
-// factorLits returns algebraic.FactorLits(cov) memoized by live-node name
-// and commit epoch. Callers must pass covers of live network nodes only —
-// trial/working covers are not keyed by anything stable.
-func (sc *scratch) factorLits(name string, cov cube.Cover) int {
-	if sc.flits == nil || sc.flitsEpoch != sc.epoch || sc.flitsFor != sc.pin {
-		sc.flits = make(map[string]int)
+// factorLits returns algebraic.FactorLits(cov) memoized by live-node SigID
+// and commit epoch. Callers must pass IDs and covers of live network nodes
+// only — overlay extension IDs are not stable across trials.
+//
+//bdslint:hotpath
+func (sc *scratch) factorLits(id network.SigID, cov cube.Cover) int {
+	if sc.flitsCur == 0 || sc.flitsEpoch != sc.epoch || sc.flitsFor != sc.pin {
+		sc.flitsCur++
 		sc.flitsFor = sc.pin
 		sc.flitsEpoch = sc.epoch
 	}
-	if v, ok := sc.flits[name]; ok {
-		return v
+	for int(id) >= len(sc.flits) {
+		sc.flits = append(sc.flits, 0)
+		sc.flitsGen = append(sc.flitsGen, 0)
+	}
+	if sc.flitsGen[id] == sc.flitsCur {
+		return sc.flits[id]
 	}
 	v := algebraic.FactorLits(cov)
-	sc.flits[name] = v
+	sc.flits[id] = v
+	sc.flitsGen[id] = sc.flitsCur
 	return v
 }
 
@@ -112,6 +126,8 @@ func (sc *scratch) factorLits(name string, cov cube.Cover) int {
 // table). Builds of the pinned live reader are memoized per commit epoch —
 // every trial of a wave patches and rolls back the same build — while any
 // other reader gets a fresh single-trial build from the bFresh arena.
+//
+//bdslint:hotpath
 func (sc *scratch) baseBuild(r network.Reader) *netlist.Build {
 	if !sc.noOverlay && r == sc.pin {
 		if sc.sharedBuild == nil || sc.sharedFor != r || sc.sharedEpoch != sc.epoch {

@@ -307,6 +307,8 @@ func othersOrOf(sigs []network.Signature) []network.Signature {
 // admits reports whether the candidate passes the witness analysis, i.e.
 // may yield a committable (positive-gain) plan in its division form.
 // Conservative: any missing information admits.
+//
+//bdslint:hotpath
 func (sf *simSigFilter) admits(cand candidate) bool {
 	if sf == nil {
 		return true

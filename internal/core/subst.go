@@ -268,15 +268,20 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	for pass := 0; pass < maxPasses; pass++ {
 		passStart := clk.Now()
 		changed := false
-		names := append([]string(nil), nw.TopoOrder()...)
+		// Snapshot the pass's visiting order as dense IDs: the symbol table
+		// is append-only and commits only grow the ID space, so an ID keeps
+		// resolving to the same signal (or to nil once swept) even as the
+		// loop mutates the network — exactly the semantics the name
+		// snapshot had, without re-hashing a name per node.
+		ids := append([]network.SigID(nil), nw.TopoOrderIDs()...)
 		// Work outputs-first: substituting into later nodes first tends to
 		// expose more sharing.
-		for i := len(names) - 1; i >= 0; i-- {
-			f := names[i]
-			fn := nw.Node(f)
+		for i := len(ids) - 1; i >= 0; i-- {
+			fn := nw.NodeByID(ids[i])
 			if fn == nil || fn.Cover.IsZero() {
 				continue
 			}
+			f := fn.Name
 			cands := candidateDivisors(nw, sigs, cc, f, opt)
 			if len(cands) > maxTrials {
 				cands = cands[:maxTrials]
@@ -385,6 +390,8 @@ func Substitute(nw *network.Network, opt Options) Stats {
 // arithmetic DivisorTrials + SigFilterReject is unchanged by caching) but
 // are additionally tallied as cache hits; the rest count as misses while
 // the cache is active.
+//
+//bdslint:hotpath
 func tallySigFilter(st *Stats, results []planResult, sf *simSigFilter, cacheOn bool) {
 	for _, r := range results {
 		if r.filtered {
@@ -433,11 +440,13 @@ type candidate struct {
 }
 
 // sigCache caches per-node cube literal signatures ((signal, phase) sets)
-// for the containment prefilter. Like complCache it is only read and
-// written on the serial side of the engine.
+// for the containment prefilter, indexed by the live network's dense SigID
+// (stable across commits — the symbol table is append-only). Like
+// complCache it is only read and written on the serial side of the engine.
 type sigCache struct {
 	nw           *network.Network
-	m            map[string][][]sigLit
+	sigs         [][][]sigLit
+	has          []bool
 	hits, misses int
 }
 
@@ -447,13 +456,15 @@ type sigLit struct {
 }
 
 func newSigCache(nw *network.Network) *sigCache {
-	return &sigCache{nw: nw, m: make(map[string][][]sigLit)}
+	return &sigCache{nw: nw}
 }
 
+//bdslint:hotpath
 func (sc *sigCache) get(name string) [][]sigLit {
-	if s, ok := sc.m[name]; ok {
+	id, interned := sc.nw.IDOf(name)
+	if interned && int(id) < len(sc.has) && sc.has[id] {
 		sc.hits++
-		return s
+		return sc.sigs[id]
 	}
 	sc.misses++
 	n := sc.nw.Node(name)
@@ -461,11 +472,21 @@ func (sc *sigCache) get(name string) [][]sigLit {
 		return nil
 	}
 	s := coverSigs(n.Cover, n.Fanins)
-	sc.m[name] = s
+	for int(id) >= len(sc.has) {
+		sc.has = append(sc.has, false)
+		sc.sigs = append(sc.sigs, nil)
+	}
+	sc.sigs[id] = s
+	sc.has[id] = true
 	return s
 }
 
-func (sc *sigCache) invalidate(name string) { delete(sc.m, name) }
+func (sc *sigCache) invalidate(name string) {
+	if id, ok := sc.nw.IDOf(name); ok && int(id) < len(sc.has) {
+		sc.has[id] = false
+		sc.sigs[id] = nil
+	}
+}
 
 func coverSigs(cov cube.Cover, fanins []string) [][]sigLit {
 	out := make([][]sigLit, 0, cov.NumCubes())
@@ -538,11 +559,8 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 			fcSigs = s
 		}
 	}
-	fSupport := make(map[string]bool, len(fn.Fanins))
-	for _, s := range fn.Fanins {
-		fSupport[s] = true
-	}
-	tfo := nw.TFOSet(f) // divisors inside f's fanout cone would form cycles
+	fid, _ := nw.IDOf(f)
+	tfo := nw.TFOSetIDs(fid) // divisors inside f's fanout cone would form cycles
 	var out []scored
 	for _, d := range nw.SortedNodeNames() {
 		if d == f {
@@ -555,12 +573,15 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 		if dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse() {
 			continue
 		}
-		if tfo[d] {
+		if did, ok := nw.IDOf(d); ok && tfo[did] {
 			continue
 		}
+		// Support overlap by slice scan: fanin lists are a handful of
+		// signals, so linear containment beats building a support set per
+		// dividend.
 		overlap := 0
 		for _, s := range dn.Fanins {
-			if fSupport[s] {
+			if fn.FaninIndex(s) >= 0 {
 				overlap++
 			}
 		}

@@ -134,11 +134,14 @@ type trialEntry struct {
 	fCover     cube.Cover
 }
 
+//bdslint:hotpath
 func (tc *TrialCache) shard(k trialKey) *trialShard {
 	return &tc.shards[k[0]&(trialShards-1)]
 }
 
 // lookup returns the entry for k, if any.
+//
+//bdslint:hotpath
 func (tc *TrialCache) lookup(k trialKey) (*trialEntry, bool) {
 	s := tc.shard(k)
 	s.mu.Lock()
@@ -264,6 +267,8 @@ func (k *trialKey) fold(w uint64) {
 // trialCacheKey derives the canonical fingerprint of the (f, cand) trial
 // under opt from the network's cone table. ok=false when the table is
 // stale or a needed hash is missing — the trial then runs uncached.
+//
+//bdslint:hotpath
 func trialCacheKey(ct *network.ConeTable, f string, cand candidate, opt Options) (trialKey, bool) {
 	if ct == nil {
 		return trialKey{}, false

@@ -13,36 +13,49 @@ import (
 // sound in the full circuit, while the per-trial cost becomes independent
 // of circuit size. The window's signal names are the real signal names, so
 // division results apply to the full network directly.
+//
+// Bookkeeping is SigID-indexed: the include/frontier sets are dense bool
+// slices over the reader's ID space and the cone walk runs on FaninIDsOf,
+// so the per-trial cost is two slice allocations instead of two maps
+// rehashing every signal name.
 func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
-	include := map[string]bool{}
-	frontier := map[string]bool{}
+	nsig := nw.NumSigs()
+	include := make([]bool, nsig)
+	frontier := make([]bool, nsig)
 	type item struct {
-		name string
+		id   network.SigID
 		dist int
 	}
-	queue := []item{{f, 0}, {d, 0}}
+	fid, fok := nw.IDOf(f)
+	did, dok := nw.IDOf(d)
+	if !fok || !dok {
+		panic("core: windowFor on un-interned signal")
+	}
+	queue := []item{{fid, 0}, {did, 0}}
 	for len(queue) > 0 {
 		it := queue[0]
 		queue = queue[1:]
-		if include[it.name] || frontier[it.name] {
+		if include[it.id] || frontier[it.id] {
 			continue
 		}
-		n := nw.Node(it.name)
+		n := nw.NodeByID(it.id)
 		if n == nil || it.dist >= depth {
 			// PI of the network, or at the boundary: window input.
-			frontier[it.name] = true
+			frontier[it.id] = true
 			continue
 		}
-		include[it.name] = true
-		for _, fi := range n.Fanins {
+		include[it.id] = true
+		for _, fi := range nw.FaninIDsOf(it.id) {
 			queue = append(queue, item{fi, it.dist + 1})
 		}
 	}
 	// Boundary repair: a fanin of an included node that is not included
 	// must be a frontier input.
-	//bdslint:ignore maporder order-invisible set union: boundary repair only inserts into frontier
-	for name := range include {
-		for _, fi := range nw.Node(name).Fanins {
+	for id, inc := range include {
+		if !inc {
+			continue
+		}
+		for _, fi := range nw.FaninIDsOf(network.SigID(id)) {
 			if !include[fi] {
 				frontier[fi] = true
 			}
@@ -52,12 +65,12 @@ func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
 	w := network.New(nw.NetName() + "@win")
 	// Sorted window inputs: PI insertion order fixes the window's netlist
 	// gate numbering, which learning-capped implication passes are sensitive
-	// to — map iteration order here would make windowed runs irreproducible.
-	inputs := make([]string, 0, len(frontier))
-	//bdslint:ignore maporder keys collected then sorted before use
-	for name := range frontier {
-		if !include[name] {
-			inputs = append(inputs, name)
+	// to — unsorted insertion order here would make windowed runs
+	// irreproducible.
+	var inputs []string
+	for id, fr := range frontier {
+		if fr && !include[id] {
+			inputs = append(inputs, nw.SigName(network.SigID(id)))
 		}
 	}
 	sort.Strings(inputs)
@@ -66,10 +79,10 @@ func windowFor(nw network.Reader, f, d string, depth int) *network.Network {
 	}
 	// Add nodes in the full network's topological order restricted to the
 	// window.
-	for _, name := range nw.TopoOrder() {
-		if include[name] {
-			n := nw.Node(name)
-			w.AddNode(name, n.Fanins, n.Cover.Clone())
+	for _, id := range nw.TopoOrderIDs() {
+		if include[id] {
+			n := nw.NodeByID(id)
+			w.AddNode(n.Name, n.Fanins, n.Cover.Clone())
 		}
 	}
 	w.AddPO(f)

@@ -53,6 +53,7 @@ type gate struct {
 type Netlist struct {
 	gates []gate
 	// Signal maps a network signal name to the gate producing it.
+	//bdslint:ignore idmap exported name→gate boundary consumed by the ATPG/test drivers, which address signals by BLIF name; built once per netlist, never read on the per-trial path
 	Signal map[string]int
 	// POs are the output gate ids, parallel to PONames.
 	POs     []int
@@ -81,6 +82,7 @@ type NodeGates struct {
 
 // New returns an empty netlist.
 func New() *Netlist {
+	//bdslint:ignore idmap constructs the exported Signal boundary map (see the field); one allocation per netlist
 	return &Netlist{Signal: make(map[string]int), inv: make(map[int]int), isPO: make(map[int]bool)}
 }
 
@@ -198,6 +200,7 @@ func (nl *Netlist) AddPin(g, src int) int {
 type Build struct {
 	NL *Netlist
 	// Nodes maps node name to its two-level structure.
+	//bdslint:ignore idmap exported name→structure boundary for callers that inspect a node's decomposition by name (fault reports, tests); not touched inside simulation loops
 	Nodes map[string]*NodeGates
 }
 
@@ -257,6 +260,7 @@ func (b *Builder) gateAt(id network.SigID) int {
 func (b *Builder) Build(nw network.Reader) *Build {
 	if b.build.NL == nil {
 		b.build.NL = New()
+		//bdslint:ignore idmap constructs the exported Nodes boundary map (see the field); first Build only, cleared and reused afterwards
 		b.build.Nodes = make(map[string]*NodeGates)
 	} else {
 		b.build.NL.Reset()

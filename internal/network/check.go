@@ -45,7 +45,7 @@ func (nw *Network) Check() error {
 		return fmt.Errorf("network %q: %d PO names for %d PO ids", nw.Name, len(nw.poNames), len(nw.posIDs))
 	}
 
-	seenPI := make(map[string]bool, len(nw.pis))
+	seenPI := make([]bool, nw.sym.Len())
 	for i, id := range nw.pis {
 		pi := nw.piNames[i]
 		if got, ok := nw.sym.Lookup(pi); !ok || got != id {
@@ -54,10 +54,10 @@ func (nw *Network) Check() error {
 		if !nw.piMark[id] {
 			return fmt.Errorf("network %q: primary input %q not marked as PI", nw.Name, pi)
 		}
-		if seenPI[pi] {
+		if seenPI[id] {
 			return fmt.Errorf("network %q: duplicate primary input %q", nw.Name, pi)
 		}
-		seenPI[pi] = true
+		seenPI[id] = true
 		if nw.defs[id] != nil {
 			return fmt.Errorf("network %q: signal %q is both a primary input and a node", nw.Name, pi)
 		}
@@ -77,16 +77,16 @@ func (nw *Network) Check() error {
 		}
 	}
 
-	seenPO := make(map[string]bool, len(nw.posIDs))
+	seenPO := make([]bool, nw.sym.Len())
 	for i, id := range nw.posIDs {
 		po := nw.poNames[i]
 		if got, ok := nw.sym.Lookup(po); !ok || got != id {
 			return fmt.Errorf("network %q: primary output %q not interned at its ID", nw.Name, po)
 		}
-		if seenPO[po] {
+		if seenPO[id] {
 			return fmt.Errorf("network %q: duplicate primary output %q", nw.Name, po)
 		}
-		seenPO[po] = true
+		seenPO[id] = true
 		if !nw.piMark[id] && nw.defs[id] == nil {
 			return fmt.Errorf("network %q: undriven primary output %q", nw.Name, po)
 		}
@@ -117,7 +117,7 @@ func (nw *Network) Check() error {
 	}
 
 	for _, n := range nw.Nodes() {
-		if err := nw.checkNode(n, seenPI); err != nil {
+		if err := nw.checkNode(n); err != nil {
 			return err
 		}
 	}
@@ -133,7 +133,7 @@ func (nw *Network) Check() error {
 
 // checkNode audits one node's fanin list, fanin-ID lockstep, and cover
 // canonicity.
-func (nw *Network) checkNode(n *Node, isPI map[string]bool) error {
+func (nw *Network) checkNode(n *Node) error {
 	if n.Cover.NumVars() != len(n.Fanins) {
 		return fmt.Errorf("network %q: node %q: cover space %d != %d fanins", nw.Name, n.Name, n.Cover.NumVars(), len(n.Fanins))
 	}
@@ -142,16 +142,19 @@ func (nw *Network) checkNode(n *Node, isPI map[string]bool) error {
 	if len(fids) != len(n.Fanins) {
 		return fmt.Errorf("network %q: node %q: %d fanin ids for %d fanins", nw.Name, n.Name, len(fids), len(n.Fanins))
 	}
-	seen := make(map[string]bool, len(n.Fanins))
 	for i, f := range n.Fanins {
 		if fid, ok := nw.sym.Lookup(f); !ok || fid != fids[i] {
 			return fmt.Errorf("network %q: node %q: fanin %q id mismatch (slot %d holds %d)", nw.Name, n.Name, f, i, fids[i])
 		}
-		if seen[f] {
-			return fmt.Errorf("network %q: node %q: repeated fanin %q", nw.Name, n.Name, f)
+		// Repeated-fanin detection by ID scan over the already-validated
+		// prefix: fanin lists are tiny, and fids[i] is proven equal to f's
+		// interned ID just above.
+		for j := 0; j < i; j++ {
+			if fids[j] == fids[i] {
+				return fmt.Errorf("network %q: node %q: repeated fanin %q", nw.Name, n.Name, f)
+			}
 		}
-		seen[f] = true
-		if !isPI[f] && nw.Node(f) == nil {
+		if !nw.piMark[fids[i]] && nw.defs[fids[i]] == nil {
 			return fmt.Errorf("network %q: node %q: undriven fanin %q", nw.Name, n.Name, f)
 		}
 	}
@@ -177,7 +180,7 @@ func (nw *Network) checkAcyclic() error {
 		visiting  = 1
 		done      = 2
 	)
-	state := make(map[string]int, nw.NumNodes())
+	state := make([]uint8, nw.sym.Len())
 	var path []string
 	var visit func(name string) error
 	visit = func(name string) error {
@@ -185,7 +188,8 @@ func (nw *Network) checkAcyclic() error {
 		if n == nil {
 			return nil // PI or dangling reference; checkNode reports the latter
 		}
-		switch state[name] {
+		id, _ := nw.sym.Lookup(name) // driven ⇒ interned
+		switch state[id] {
 		case visiting:
 			// Trim the path to the cycle proper for the message.
 			start := 0
@@ -199,7 +203,7 @@ func (nw *Network) checkAcyclic() error {
 		case done:
 			return nil
 		}
-		state[name] = visiting
+		state[id] = visiting
 		path = append(path, name)
 		for _, f := range n.Fanins {
 			if err := visit(f); err != nil {
@@ -207,7 +211,7 @@ func (nw *Network) checkAcyclic() error {
 			}
 		}
 		path = path[:len(path)-1]
-		state[name] = done
+		state[id] = done
 		return nil
 	}
 	for _, name := range nw.SortedNodeNames() {

@@ -15,14 +15,15 @@ func (nw *Network) WriteDot(w io.Writer) error {
 	for _, pi := range nw.piNames {
 		fmt.Fprintf(&b, "  %q [shape=plaintext];\n", pi)
 	}
-	isPO := make(map[string]bool, len(nw.poNames))
-	for _, po := range nw.poNames {
-		isPO[po] = true
+	isPO := make([]bool, nw.sym.Len())
+	for _, id := range nw.posIDs {
+		isPO[id] = true
 	}
-	for _, name := range nw.TopoOrder() {
-		n := nw.Node(name)
+	for _, id := range nw.TopoOrderIDs() {
+		n := nw.defs[id]
+		name := n.Name
 		shape := "box"
-		if isPO[name] {
+		if isPO[id] {
 			shape = "box, peripheries=2"
 		}
 		fmt.Fprintf(&b, "  %q [shape=%s, label=\"%s\\n%s\"];\n",

@@ -30,20 +30,15 @@ func (nw *Network) Compose(outer, inner string) bool {
 			newFanins = append(newFanins, f)
 		}
 	}
-	pos := make(map[string]int, len(newFanins))
-	for i, f := range newFanins {
-		pos[f] = i
-	}
 	for _, f := range in.Fanins {
-		if _, ok := pos[f]; !ok {
-			pos[f] = len(newFanins)
+		if sigIndex(newFanins, f) < 0 {
 			newFanins = append(newFanins, f)
 		}
 	}
 	n := len(newFanins)
 
 	// Remap inner's cover into the merged space.
-	innerCov := remap(in.Cover, in.Fanins, pos, n)
+	innerCov := remap(in.Cover, in.Fanins, newFanins)
 	innerNeg := innerCov.Complement()
 
 	out := cube.NewCover(n)
@@ -55,7 +50,7 @@ func (nw *Network) Compose(outer, inner string) bool {
 			if v == vi {
 				continue
 			}
-			base.Set(pos[o.Fanins[v]], c.Get(v))
+			base.Set(sigIndex(newFanins, o.Fanins[v]), c.Get(v))
 		}
 		switch ph {
 		case cube.Pos, cube.Neg:
@@ -84,14 +79,27 @@ func (nw *Network) Compose(outer, inner string) bool {
 	return true
 }
 
-// remap translates a cover from a fanin-name list into a destination space
-// given by pos (name → new index) with n variables.
-func remap(f cube.Cover, fanins []string, pos map[string]int, n int) cube.Cover {
+// sigIndex returns s's position in the signal list, or -1. Fanin lists are
+// a handful of signals, so the linear scan replaces the name→index maps
+// these rewrites used to allocate per call on the trial/commit path.
+func sigIndex(list []string, s string) int {
+	for i, x := range list {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// remap translates a cover from a fanin-name list into the destination
+// variable space named by dst (variable i of the result is dst[i]).
+func remap(f cube.Cover, fanins []string, dst []string) cube.Cover {
+	n := len(dst)
 	out := cube.NewCover(n)
 	for _, c := range f.Cubes {
 		k := cube.New(n)
 		for _, v := range c.Lits() {
-			k.Set(pos[fanins[v]], c.Get(v))
+			k.Set(sigIndex(dst, fanins[v]), c.Get(v))
 		}
 		out.Cubes = append(out.Cubes, k)
 	}
@@ -101,16 +109,12 @@ func remap(f cube.Cover, fanins []string, pos map[string]int, n int) cube.Cover 
 // RemapCover is the exported form of remap for other packages: it moves f
 // from the variable space named by fanins into the space named by dst.
 func RemapCover(f cube.Cover, fanins []string, dst []string) cube.Cover {
-	pos := make(map[string]int, len(dst))
-	for i, s := range dst {
-		pos[s] = i
-	}
 	for _, s := range fanins {
-		if _, ok := pos[s]; !ok {
+		if sigIndex(dst, s) < 0 {
 			panic("network: RemapCover destination missing signal " + s)
 		}
 	}
-	return remap(f, fanins, pos, len(dst))
+	return remap(f, fanins, dst)
 }
 
 // Sweep removes nodes not reachable from any primary output, propagates
@@ -225,10 +229,6 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 			newFanins = append(newFanins, f)
 		}
 	}
-	pos := make(map[string]int, len(newFanins))
-	for i, f := range newFanins {
-		pos[f] = i
-	}
 	out := cube.NewCover(len(newFanins))
 	for _, c := range n.Cover.Cubes {
 		k := cube.New(len(newFanins))
@@ -246,7 +246,7 @@ func (nw *Network) ReplaceFaninSignal(name, old, new string, invert bool) bool {
 					}
 				}
 			}
-			i := pos[sig]
+			i := sigIndex(newFanins, sig)
 			if p := k.Get(i); p != cube.Free && p != ph {
 				empty = true // x ∧ x' after merging columns
 				break

@@ -211,19 +211,29 @@ func (nw *Network) NumSigs() int { return nw.sym.Len() }
 
 // IDOf returns the dense ID of name; ok=false when the name has never been
 // interned. A pure probe: it never extends the ID space.
+//
+//bdslint:hotpath
 func (nw *Network) IDOf(name string) (SigID, bool) { return nw.sym.Lookup(name) }
 
 // SigName returns the name bound to id.
+//
+//bdslint:hotpath
 func (nw *Network) SigName(id SigID) string { return nw.sym.Name(id) }
 
 // NodeByID returns the node driving signal id, or nil (read-only).
+//
+//bdslint:hotpath
 func (nw *Network) NodeByID(id SigID) *Node { return nw.defs[id] }
 
 // IsPIID reports whether id is a primary input.
+//
+//bdslint:hotpath
 func (nw *Network) IsPIID(id SigID) bool { return nw.piMark[id] }
 
 // FaninIDsOf returns node id's fanin IDs, parallel to its Fanins slice (do
 // not modify — the slice is shared with clones). Nil for PIs/unknown.
+//
+//bdslint:hotpath
 func (nw *Network) FaninIDsOf(id SigID) []SigID { return nw.faninIDs[id] }
 
 // OrderIDs returns the live node IDs in creation order.

@@ -45,6 +45,7 @@ type Overlay struct {
 	baseN int
 	// nodes holds the delta bodies: a non-nil entry replaces (or adds) the
 	// node, a nil entry marks a base node deleted.
+	//bdslint:ignore idmap deliberate name-keyed delta: a trial touches a handful of nodes while thousands of overlays are live at once — a per-overlay O(baseN) SigID array would swamp the trial path in allocation (ROADMAP defers an ID-keyed delta)
 	nodes map[string]*Node
 	// added lists names created on the overlay, in creation order (the order
 	// a clone's AddNode calls would append them to the network's order).
@@ -56,12 +57,14 @@ type Overlay struct {
 	dels int
 	// extNames/extByName are the overlay-local extension symbol table:
 	// extNames[k] has ID baseN+k.
-	extNames  []string
+	extNames []string
+	//bdslint:ignore idmap the overlay-local symbol table IS the name→ID boundary for extension signals, mirroring SymTab.byName; it holds at most the few names one trial introduces
 	extByName map[string]SigID
 }
 
 // NewOverlay returns an empty copy-on-write view over base.
 func NewOverlay(base Reader) *Overlay {
+	//bdslint:ignore idmap allocates the name-keyed delta the Overlay doc comment justifies; O(1) per overlay, sized by touched nodes only
 	return &Overlay{base: base, baseN: base.NumSigs(), nodes: make(map[string]*Node)}
 }
 
@@ -73,6 +76,8 @@ func (o *Overlay) NetName() string { return o.base.NetName() }
 
 // Node returns the node driving name under the overlay: the delta body when
 // touched (nil when deleted), the base node otherwise.
+//
+//bdslint:hotpath
 func (o *Overlay) Node(name string) *Node {
 	if n, ok := o.nodes[name]; ok {
 		return n
@@ -105,6 +110,7 @@ func (o *Overlay) internName(name string) SigID {
 		return id
 	}
 	if o.extByName == nil {
+		//bdslint:ignore idmap lazy allocation of the overlay-local symbol table (see the field's justification)
 		o.extByName = make(map[string]SigID)
 	}
 	id := SigID(o.baseN + len(o.extNames))
@@ -115,6 +121,8 @@ func (o *Overlay) internName(name string) SigID {
 
 // idOf resolves name without interning (the pure read-path counterpart of
 // internName); NoSig when the name has never been seen.
+//
+//bdslint:hotpath
 func (o *Overlay) idOf(name string) SigID {
 	if id, ok := o.base.IDOf(name); ok {
 		return id
@@ -130,6 +138,8 @@ func (o *Overlay) NumSigs() int { return o.baseN + len(o.extNames) }
 
 // IDOf returns the dense ID of name: the base's when it knows the name, the
 // overlay-local extension otherwise.
+//
+//bdslint:hotpath
 func (o *Overlay) IDOf(name string) (SigID, bool) {
 	if id, ok := o.base.IDOf(name); ok {
 		return id, true
@@ -139,6 +149,8 @@ func (o *Overlay) IDOf(name string) (SigID, bool) {
 }
 
 // SigName returns the name bound to id.
+//
+//bdslint:hotpath
 func (o *Overlay) SigName(id SigID) string {
 	if int(id) < o.baseN {
 		return o.base.SigName(id)
@@ -147,6 +159,8 @@ func (o *Overlay) SigName(id SigID) string {
 }
 
 // NodeByID returns the node driving signal id under the overlay.
+//
+//bdslint:hotpath
 func (o *Overlay) NodeByID(id SigID) *Node {
 	if int(id) < o.baseN {
 		if n, ok := o.nodes[o.base.SigName(id)]; ok {
@@ -163,6 +177,8 @@ func (o *Overlay) NodeByID(id SigID) *Node {
 
 // IsPIID reports whether id is a base primary input (overlay-local IDs
 // never are).
+//
+//bdslint:hotpath
 func (o *Overlay) IsPIID(id SigID) bool {
 	return int(id) < o.baseN && o.base.IsPIID(id)
 }
@@ -170,6 +186,8 @@ func (o *Overlay) IsPIID(id SigID) bool {
 // FaninIDsOf returns node id's fanin IDs under the overlay. Untouched base
 // nodes share the base's slice (allocation-free, the common case); delta
 // bodies intern on demand.
+//
+//bdslint:hotpath
 func (o *Overlay) FaninIDsOf(id SigID) []SigID {
 	if int(id) < o.baseN {
 		if _, touched := o.nodes[o.base.SigName(id)]; !touched {
@@ -180,10 +198,12 @@ func (o *Overlay) FaninIDsOf(id SigID) []SigID {
 	if n == nil {
 		return nil
 	}
+	//bdslint:ignore hotalloc touched-delta path only: untouched base nodes returned the shared base slice above; a trial touches a handful of nodes
 	ids := make([]SigID, len(n.Fanins))
 	for i, f := range n.Fanins {
 		id := o.idOf(f)
 		if id == NoSig {
+			//bdslint:ignore hotalloc panic message on the invariant-violation path only — the mutating entry points intern every fanin, so this never executes
 			panic(fmt.Sprintf("network: overlay fanin %q was never interned", f))
 		}
 		ids[i] = id
@@ -249,7 +269,12 @@ func (o *Overlay) NumNodes() int { return o.base.NumNodes() + len(o.added) - o.d
 // Network.TopoOrder over the overlay view (same visiting sequence as a
 // mutated clone, panicking on a combinational cycle).
 func (o *Overlay) TopoOrder() []string {
-	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	// SigID-indexed DFS marks: every signal with a driving node is interned
+	// (mutating entry points intern their fanins), so the dense slice
+	// replaces a name-keyed map that rehashed every visit. For a full-
+	// network overlay the walk touches most of the ID space anyway, so the
+	// O(NumSigs) slice is also the cheaper allocation.
+	state := make([]uint8, o.NumSigs()) // 0 unvisited, 1 visiting, 2 done
 	var out []string
 	var visit func(string)
 	visit = func(s string) {
@@ -260,17 +285,21 @@ func (o *Overlay) TopoOrder() []string {
 		if n == nil {
 			return
 		}
-		switch state[s] {
+		id := o.idOf(s)
+		if id == NoSig {
+			panic(fmt.Sprintf("network: overlay node %q was never interned", s))
+		}
+		switch state[id] {
 		case 1:
 			panic("network: combinational cycle at " + s)
 		case 2:
 			return
 		}
-		state[s] = 1
+		state[id] = 1
 		for _, f := range n.Fanins {
 			visit(f)
 		}
-		state[s] = 2
+		state[id] = 2
 		out = append(out, s)
 	}
 	for _, n := range o.base.Nodes() {
@@ -299,16 +328,21 @@ func (o *Overlay) DependsOn(a, b string) bool {
 	if a == b {
 		return true
 	}
-	seen := make(map[string]bool)
+	// SigID-indexed visited marks (see TopoOrder): the walk only marks
+	// signals it recurses through, all of which have driving nodes and are
+	// therefore interned.
+	seen := make([]bool, o.NumSigs())
 	var walk func(string) bool
 	walk = func(s string) bool {
 		if s == b {
 			return true
 		}
-		if seen[s] {
-			return false
+		if id := o.idOf(s); id != NoSig {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
 		}
-		seen[s] = true
 		n := o.Node(s)
 		if n == nil {
 			return false
@@ -461,12 +495,12 @@ func (o *Overlay) AddNode(name string, fanins []string, cover cube.Cover) *Node 
 	if o.base.Node(name) != nil || o.IsPI(name) {
 		panic(fmt.Sprintf("network: duplicate signal %q", name))
 	}
-	seen := map[string]bool{}
-	for _, f := range fanins {
-		if seen[f] {
-			panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+	for i, f := range fanins {
+		for j := 0; j < i; j++ {
+			if fanins[j] == f {
+				panic(fmt.Sprintf("network: node %q repeated fanin %q", name, f))
+			}
 		}
-		seen[f] = true
 	}
 	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
 	o.nodes[name] = n

@@ -60,22 +60,35 @@ func evalCoverIDs(f cube.Cover, fanins []SigID, val []uint64) uint64 {
 // whose variable i corresponds to piOrder[i]. Exponential in the worst case;
 // intended for small cones (verification, don't-care analysis).
 func (nw *Network) GlobalCover(name string, piOrder []string) cube.Cover {
-	idx := make(map[string]int, len(piOrder))
-	for i, pi := range piOrder {
-		idx[pi] = i
+	// SigID-indexed PI positions and memo table: every signal the collapse
+	// can reach is interned (it is a PI or a driven node), so dense slices
+	// replace the name-keyed maps this walk used to allocate.
+	idx := make([]int, nw.sym.Len())
+	for i := range idx {
+		idx[i] = -1
 	}
-	memo := make(map[string]cube.Cover)
+	for i, pi := range piOrder {
+		if id, ok := nw.sym.Lookup(pi); ok {
+			idx[id] = i
+		}
+	}
+	memo := make([]cube.Cover, nw.sym.Len())
+	known := make([]bool, nw.sym.Len())
 	var global func(string) cube.Cover
 	global = func(s string) cube.Cover {
-		if g, ok := memo[s]; ok {
-			return g
+		id, ok := nw.sym.Lookup(s)
+		if !ok {
+			panic("network: unknown signal " + s)
+		}
+		if known[id] {
+			return memo[id]
 		}
 		n := len(piOrder)
-		if i, ok := idx[s]; ok {
+		if i := idx[id]; i >= 0 {
 			c := cube.New(n)
 			c.Set(i, cube.Pos)
 			g := cube.CoverOf(n, c)
-			memo[s] = g
+			memo[id], known[id] = g, true
 			return g
 		}
 		nd := nw.Node(s)
@@ -99,7 +112,7 @@ func (nw *Network) GlobalCover(name string, piOrder []string) cube.Cover {
 			out = out.Or(term)
 		}
 		out = out.SCC()
-		memo[s] = out
+		memo[id], known[id] = out, true
 		return out
 	}
 	return global(name)

@@ -46,6 +46,9 @@ func (nw *Network) Strash() *StrashTable {
 	for i := range t.rep {
 		t.rep[i] = SigID(i)
 	}
+	// Digest-keyed, not name-keyed: the key is a canonical structural hash
+	// (fanin reps + cube rows), so SigID indexing cannot express it.
+	//bdslint:ignore idmap digest-keyed unique table — keys are canonical structural hashes, not signal names; no SigID encoding exists for them
 	unique := make(map[string]SigID)
 	var buf []byte
 	for _, id := range nw.TopoOrderIDs() {
