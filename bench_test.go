@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -604,6 +605,51 @@ func BenchmarkSubstituteParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSubstituteScale measures worker scaling on size-tiered generated
+// circuits (bench.Generate "cone" shape, regenerated in-process from the
+// seeded recipe — nothing this size is committed). The cone forest is the
+// batch scheduler's target regime: cones are pairwise disjoint, so whole
+// batches of speculative trials commit without conflict and extra workers
+// do useful work instead of widening one node's trial wave. The per-tier
+// wN/w1 wall-clock ratios are the committed scaling floors that
+// `benchreg -compare` hard-fails on (testdata/bench/BENCH_substitute.json,
+// "scaling_floors"). Options keep the per-trial cost size-independent
+// (windowed basic division, one pass, capped trials) so the tiers measure
+// scheduling, not algorithmic tails.
+func BenchmarkSubstituteScale(b *testing.B) {
+	tiers := []struct {
+		name  string
+		gates int
+	}{
+		{"cone10k", 10_000},
+		{"cone100k", 100_000},
+	}
+	for _, tier := range tiers {
+		base, err := bench.Generate("cone", tier.gates, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", tier.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					nw := base.Clone()
+					b.StartTimer()
+					st := core.Substitute(nw, core.Options{
+						Config: core.Basic, WindowDepth: 3, NoSigFilter: true,
+						MaxPasses: 1, MaxDivisorTrials: 8,
+						Workers: workers,
+					})
+					b.ReportMetric(float64(st.Substitutions), "subs")
+					b.ReportMetric(float64(st.BatchCommits), "bcommits")
+					b.ReportMetric(float64(st.SpeculatedTrials), "spec")
+				}
+			})
+		}
 	}
 }
 

@@ -22,6 +22,16 @@
 // (lits, trials, hit%) are carried in the snapshot so a reviewer can see
 // whether a timing shift came with a behavior shift (results moving would
 // also trip the golden-table test), but are not compared.
+//
+// Scaling floors are the one hard-fail dimension. The baseline may carry a
+// "scaling_floors" map from a benchmark family (e.g. "SubstituteScale/cone10k",
+// which must have a "<family>/w1" entry) to minimum w1/wN speedup ratios per
+// worker variant (e.g. {"w8": 0.8}). Unlike raw ns/op — which drifts with host
+// load — the *ratio* between worker counts of the same benchmark in the same
+// run is stable, so a ratio below its committed floor means multi-worker
+// scheduling genuinely regressed (e.g. speculation being discarded wholesale),
+// and -compare exits nonzero. -emit preserves the scaling_floors block from an
+// existing snapshot at the output path, so re-recording timings keeps floors.
 package main
 
 import (
@@ -41,6 +51,11 @@ type snapshot struct {
 	// Benchmarks maps a benchmark name (GOMAXPROCS suffix stripped, e.g.
 	// "SubstituteTrialCache/on") to its measurements.
 	Benchmarks map[string]measure `json:"benchmarks"`
+	// ScalingFloors maps a benchmark family (e.g. "SubstituteScale/cone10k")
+	// to minimum w1/wN speedup ratios per worker variant (e.g. {"w8": 0.8}).
+	// Violations are hard failures in -compare, not warnings: the ratio is
+	// taken within one run, so host noise cancels out.
+	ScalingFloors map[string]map[string]float64 `json:"scaling_floors,omitempty"`
 }
 
 type measure struct {
@@ -87,6 +102,11 @@ func runEmit(r io.Reader, path string) error {
 	}
 	if len(snap.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench` output in)")
+	}
+	// Re-recording timings must not silently drop the committed floors:
+	// carry the scaling_floors block over from any snapshot already at path.
+	if old, err := load(path); err == nil && len(old.ScalingFloors) > 0 {
+		snap.ScalingFloors = old.ScalingFloors
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -195,6 +215,56 @@ func runCompare(w io.Writer, basePath, curPath string, th thresholds) error {
 	}
 	if warned > 0 {
 		fmt.Fprintf(w, "benchreg: %d warning(s) — investigate before committing, or re-record the baseline\n", warned)
+	}
+	return checkScalingFloors(w, base, cur)
+}
+
+// checkScalingFloors enforces the baseline's scaling_floors block against the
+// current run: for each family, the current w1/wN ns-per-op ratio must meet
+// the committed floor. Unlike the warn-only dimensions this returns an error
+// (nonzero exit) on violation — both sides of the ratio come from the same
+// run on the same host, so noise cancels and a miss is a real scheduling
+// regression. A family or variant missing from the current run also fails:
+// deleting the benchmark must not silently disable the gate.
+func checkScalingFloors(w io.Writer, base, cur snapshot) error {
+	families := make([]string, 0, len(base.ScalingFloors))
+	for f := range base.ScalingFloors {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	failed := 0
+	for _, fam := range families {
+		ref, ok := cur.Benchmarks[fam+"/w1"]
+		if !ok || ref.NsPerOp <= 0 {
+			fmt.Fprintf(w, "benchreg: FAIL: %s/w1 missing from this run (needed as the scaling reference)\n", fam)
+			failed++
+			continue
+		}
+		variants := make([]string, 0, len(base.ScalingFloors[fam]))
+		for v := range base.ScalingFloors[fam] {
+			variants = append(variants, v)
+		}
+		sort.Strings(variants)
+		for _, v := range variants {
+			floor := base.ScalingFloors[fam][v]
+			m, ok := cur.Benchmarks[fam+"/"+v]
+			if !ok || m.NsPerOp <= 0 {
+				fmt.Fprintf(w, "benchreg: FAIL: %s/%s missing from this run (committed floor %.2fx)\n", fam, v, floor)
+				failed++
+				continue
+			}
+			speedup := ref.NsPerOp / m.NsPerOp
+			if speedup < floor {
+				fmt.Fprintf(w, "benchreg: FAIL: %s %s speedup %.2fx below committed floor %.2fx (w1 %.0f ns/op, %s %.0f ns/op)\n",
+					fam, v, speedup, floor, ref.NsPerOp, v, m.NsPerOp)
+				failed++
+				continue
+			}
+			fmt.Fprintf(w, "benchreg: %-30s %s speedup %.2fx (floor %.2fx)\n", fam, v, speedup, floor)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scaling-floor failure(s)", failed)
 	}
 	return nil
 }

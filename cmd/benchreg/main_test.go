@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func scaleSnap(w1, w4, w8 float64) snapshot {
+	return snapshot{Benchmarks: map[string]measure{
+		"SubstituteScale/cone10k/w1": {NsPerOp: w1},
+		"SubstituteScale/cone10k/w4": {NsPerOp: w4},
+		"SubstituteScale/cone10k/w8": {NsPerOp: w8},
+	}}
+}
+
+func TestScalingFloorsPass(t *testing.T) {
+	base := scaleSnap(100, 110, 120)
+	base.ScalingFloors = map[string]map[string]float64{
+		"SubstituteScale/cone10k": {"w4": 0.8, "w8": 0.8},
+	}
+	var buf strings.Builder
+	// w1/w4 = 100/110 ≈ 0.91, w1/w8 = 100/120 ≈ 0.83 — both above 0.8.
+	if err := checkScalingFloors(&buf, base, scaleSnap(100, 110, 120)); err != nil {
+		t.Fatalf("floors met but checkScalingFloors failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestScalingFloorsFailBelowFloor(t *testing.T) {
+	base := scaleSnap(100, 110, 120)
+	base.ScalingFloors = map[string]map[string]float64{
+		"SubstituteScale/cone10k": {"w8": 0.8},
+	}
+	var buf strings.Builder
+	// w1/w8 = 100/250 = 0.4 — the old wave-speculation regression shape.
+	err := checkScalingFloors(&buf, base, scaleSnap(100, 110, 250))
+	if err == nil {
+		t.Fatalf("w8 speedup 0.4x below floor 0.8x but no error\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("expected FAIL line, got:\n%s", buf.String())
+	}
+}
+
+func TestScalingFloorsFailOnMissingVariant(t *testing.T) {
+	base := scaleSnap(100, 110, 120)
+	base.ScalingFloors = map[string]map[string]float64{
+		"SubstituteScale/cone10k": {"w8": 0.8},
+	}
+	cur := scaleSnap(100, 110, 120)
+	delete(cur.Benchmarks, "SubstituteScale/cone10k/w8")
+	var buf strings.Builder
+	if err := checkScalingFloors(&buf, base, cur); err == nil {
+		t.Fatalf("gated variant missing from current run but no error\n%s", buf.String())
+	}
+
+	// Missing w1 reference must fail too, not divide by zero or skip.
+	cur = scaleSnap(100, 110, 120)
+	delete(cur.Benchmarks, "SubstituteScale/cone10k/w1")
+	buf.Reset()
+	if err := checkScalingFloors(&buf, base, cur); err == nil {
+		t.Fatalf("w1 reference missing from current run but no error\n%s", buf.String())
+	}
+}
+
+func TestScalingFloorsNoFloorsIsNoop(t *testing.T) {
+	var buf strings.Builder
+	if err := checkScalingFloors(&buf, scaleSnap(100, 110, 120), scaleSnap(1, 1, 1)); err != nil {
+		t.Fatalf("no floors committed but checkScalingFloors failed: %v", err)
+	}
+}

@@ -1,15 +1,23 @@
 // Command blifgen dumps the embedded benchmark suite as BLIF files so the
 // circuits can be inspected or fed to other tools, and generates seeded
-// large random circuits for scalability work beyond the toy suite.
+// large parameterized circuits for scalability work beyond the toy suite.
 //
 // Usage:
 //
 //	blifgen [-dir out] [-list] [name ...]
-//	blifgen [-dir out] -gates n [-pi n] [-seed s]
+//	blifgen [-dir out | -out file] -gates n [-shape adder|mult|rand|cone] [-pi n] [-seed s]
 //
-// With -gates, blifgen emits one reconvergent random-logic circuit of the
-// requested size (bench.Custom) named custom_<pi>_<gates>_<seed>.blif; the
-// generator is fully seeded, so a committed file regenerates byte-identical.
+// With -gates, blifgen emits one generated circuit of the requested size
+// (bench.Generate). The generator is fully seeded, so a committed recipe
+// (shape, gates, pi, seed) regenerates byte-identical — ci.sh relies on
+// this to build its 100k-gate race-test circuit at test time instead of
+// committing megabytes of BLIF. Shapes: "rand" (reconvergent random logic,
+// -pi inputs, emitted as custom_<pi>_<gates>_<seed>.blif for back-compat),
+// "adder" (ripple carry chain), "mult" (array multiplier), "cone"
+// (disjoint-cone control forest — the batch scheduler's home turf).
+//
+// Mixing the two modes is an error: positional suite names conflict with
+// the generator flags (-gates/-shape/-pi/-seed/-out) and exit with status 2.
 package main
 
 import (
@@ -24,11 +32,22 @@ import (
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage:\n  blifgen [-dir out] [-list] [name ...]\n"+
+				"  blifgen [-dir out | -out file] -gates n [-shape adder|mult|rand|cone] [-pi n] [-seed s]\n\n"+
+				"Dump the embedded benchmark suite (optionally a subset by name), or with\n"+
+				"-gates generate one seeded parameterized circuit. Suite names and generator\n"+
+				"flags are mutually exclusive.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	dir := flag.String("dir", ".", "output directory")
+	out := flag.String("out", "", "write the generated circuit to exactly this path (generator mode only)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
-	gates := flag.Int("gates", 0, "generate one random circuit with this many gates (0 = dump suite)")
-	npi := flag.Int("pi", 64, "primary-input count for -gates")
-	seed := flag.Int64("seed", 1, "generator seed for -gates")
+	gates := flag.Int("gates", 0, "generate one circuit with ~this many gates (0 = dump suite)")
+	shape := flag.String("shape", "rand", "generated circuit shape: adder, mult, rand, or cone")
+	npi := flag.Int("pi", 64, "primary-input count (rand shape only)")
+	seed := flag.Int64("seed", 1, "generator seed (rand and cone shapes)")
 	flag.Parse()
 
 	if *list {
@@ -37,26 +56,65 @@ func main() {
 		}
 		return
 	}
+
+	// Generator flags and positional suite names select different modes;
+	// mixing them means the request is ambiguous — refuse, don't guess.
+	genFlags := map[string]bool{"gates": true, "shape": true, "pi": true, "seed": true, "out": true}
+	genSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if genFlags[f.Name] {
+			genSet = true
+		}
+	})
+	if genSet && flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "blifgen: generator flags conflict with suite names %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if genSet && *gates <= 0 {
+		fmt.Fprintln(os.Stderr, "blifgen: generator mode needs -gates > 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *gates > 0 {
+		nw, err := bench.Generate(*shape, *gates, *npi, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blifgen:", err)
+			os.Exit(2)
+		}
+		name := nw.Name
+		if *shape == "rand" {
+			// Historical name carried the seed too (the network name does
+			// not); committed corpora reference it.
+			name = fmt.Sprintf("custom_%d_%d_%d", *npi, *gates, *seed)
+		}
+		path := *out
+		if path == "" {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "blifgen:", err)
+				os.Exit(1)
+			}
+			path = filepath.Join(*dir, name+".blif")
+		}
+		emit(path, nw)
+		return
+	}
+
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "blifgen:", err)
 		os.Exit(1)
-	}
-	if *gates > 0 {
-		nw := bench.Custom(*npi, *gates, *seed)
-		emit(*dir, fmt.Sprintf("custom_%d_%d_%d", *npi, *gates, *seed), nw)
-		return
 	}
 	names := flag.Args()
 	if len(names) == 0 {
 		names = bench.Names()
 	}
 	for _, name := range names {
-		emit(*dir, name, bench.Get(name))
+		emit(filepath.Join(*dir, name+".blif"), bench.Get(name))
 	}
 }
 
-func emit(dir, name string, nw *network.Network) {
-	path := filepath.Join(dir, name+".blif")
+func emit(path string, nw *network.Network) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blifgen:", err)

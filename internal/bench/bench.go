@@ -98,6 +98,57 @@ func Custom(nPI, nNodes int, seed int64) *network.Network {
 	return randomLogic(fmt.Sprintf("custom_%d_%d", nPI, nNodes), nPI, nNodes, seed)
 }
 
+// Generate builds one corpus circuit of the requested shape and size — the
+// parameterized large-circuit generator behind cmd/blifgen and the scaling
+// benchmarks. Shapes span the structural regimes that stress the engine
+// differently:
+//
+//   - "rand": one seeded reconvergent random DAG over pis inputs (default
+//     64) — globally entangled cones, the batch scheduler's worst case.
+//   - "adder": a ripple-carry adder sized to ~gates nodes — one maximal
+//     carry chain, so every node's fanout cone reaches the end of the
+//     chain (deep-TFO pathology).
+//   - "mult": an array multiplier sized to ~gates nodes — 2-D carry
+//     structure, wide middle columns.
+//   - "cone": a forest of independent random control cones over private
+//     inputs — many pairwise-disjoint cones, the batch scheduler's best
+//     case and the shape the scaling floors are measured on.
+//
+// Every shape is fully seeded where randomness applies ("rand", "cone"),
+// so a committed (shape, gates, pis, seed) recipe regenerates the exact
+// same circuit; "adder" and "mult" are structurally determined by gates
+// alone and ignore pis and seed.
+func Generate(shape string, gates, pis int, seed int64) (*network.Network, error) {
+	if gates <= 0 {
+		return nil, fmt.Errorf("bench: shape %q needs a positive gate count, got %d", shape, gates)
+	}
+	switch shape {
+	case "rand":
+		if pis <= 0 {
+			pis = 64
+		}
+		return Custom(pis, gates, seed), nil
+	case "adder":
+		n := gates / 2 // ripple(n) has 2n nodes (sum+carry per bit)
+		if n < 1 {
+			n = 1
+		}
+		return ripple(n), nil
+	case "mult":
+		// multiplier(n) has n² partial products plus ~2(n²−2n) adder cells,
+		// ≈3n² nodes; invert for n.
+		n := 2
+		for (n+1)*(n+1)*3 <= gates {
+			n++
+		}
+		return multiplier(n), nil
+	case "cone":
+		return coneForest(fmt.Sprintf("cone_%d_%d", gates, seed), gates, seed), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown shape %q (want adder, mult, rand, or cone)", shape)
+	}
+}
+
 // c17 is the ISCAS-85 C17 circuit (6 NAND gates), public domain.
 func c17() *network.Network {
 	nw := network.New("c17")
@@ -537,6 +588,17 @@ func randomLogic(name string, nPI, nNode int, seed int64) *network.Network {
 		nw.AddPI(pi)
 		signals = append(signals, pi)
 	}
+	growRandom(nw, r, "n", signals, nPI, nNode)
+	addSinkPOs(nw)
+	return nw
+}
+
+// growRandom appends nNode random reconvergent nodes named prefix+index to
+// nw, drawing fanins from signals (whose first nPI entries are treated as
+// the input layer for the recency bias). Shared by randomLogic and
+// coneForest; the RNG consumption here is load-bearing for the committed
+// suite circuits — do not reorder draws.
+func growRandom(nw *network.Network, r *rand.Rand, prefix string, signals []string, nPI, nNode int) []string {
 	for i := 0; i < nNode; i++ {
 		k := 2 + r.Intn(3)
 		if k > len(signals) {
@@ -581,11 +643,16 @@ func randomLogic(name string, nPI, nNode int, seed int64) *network.Network {
 			cb.Set(0, cube.Pos)
 			cov.Add(cb)
 		}
-		node := fmt.Sprintf("n%d", i)
+		node := fmt.Sprintf("%s%d", prefix, i)
 		nw.AddNode(node, fanins, cov.SCC())
 		signals = append(signals, node)
 	}
-	// POs: the sinks (nodes with no fanout) plus a few interior nodes.
+	return signals
+}
+
+// addSinkPOs marks every fanout-free node of nw as a primary output, in
+// name order.
+func addSinkPOs(nw *network.Network) {
 	fanout := nw.Fanouts()
 	var pos []string
 	for _, n := range nw.Nodes() {
@@ -597,6 +664,45 @@ func randomLogic(name string, nPI, nNode int, seed int64) *network.Network {
 	for _, p := range pos {
 		nw.AddPO(p)
 	}
+}
+
+// coneForest builds ~gates nodes of independent random control cones: each
+// group grows over its own private primary inputs, so any two nodes from
+// different groups have provably disjoint TFI and TFO cones. This is the
+// cone-disjoint regime the batch scheduler exploits — whole batches of
+// trials commit without conflict — and the shape the committed scaling
+// floors are measured on. Group growth is interleaved (node j of every
+// group before node j+1 of any), so consecutive positions in creation —
+// and therefore topological — order land in different groups; a
+// contiguous scheduler window over the order then claims one disjoint
+// dividend per group instead of colliding inside a single cone. One shared
+// RNG stream keeps the whole forest a function of (gates, seed).
+func coneForest(name string, gates int, seed int64) *network.Network {
+	const (
+		groupPIs   = 6
+		groupNodes = 20
+	)
+	r := rand.New(rand.NewSource(seed))
+	nw := network.New(name)
+	groups := gates / groupNodes
+	if groups < 1 {
+		groups = 1
+	}
+	signals := make([][]string, groups)
+	for g := 0; g < groups; g++ {
+		signals[g] = make([]string, 0, groupPIs+groupNodes)
+		for i := 0; i < groupPIs; i++ {
+			pi := fmt.Sprintf("g%d_x%d", g, i)
+			nw.AddPI(pi)
+			signals[g] = append(signals[g], pi)
+		}
+	}
+	for j := 0; j < groupNodes; j++ {
+		for g := 0; g < groups; g++ {
+			signals[g] = growRandom(nw, r, fmt.Sprintf("g%d_n%d_", g, j), signals[g], groupPIs, 1)
+		}
+	}
+	addSinkPOs(nw)
 	return nw
 }
 

@@ -128,7 +128,7 @@ func planPairImpl(sc *scratch, nw network.Reader, f string, cand candidate, opt 
 	// Windowed division: bound the sub-network the division sees.
 	nwd := nw
 	if opt.WindowDepth > 0 {
-		nwd = windowFor(nw, f, d, opt.WindowDepth)
+		nwd = windowFor(sc, nw, f, d, opt.WindowDepth)
 	}
 
 	nodePlan := func(res *DivideResult, pos bool) plan {
@@ -301,10 +301,31 @@ func commitPlan(nw *network.Network, p plan, opt Options, cc *complCache, sigs *
 			sigs.invalidate(p.target)
 			return
 		}
-		for _, name := range p.touched {
-			cc.invalidate(nw, name)
-			sigs.invalidate(name)
+		if ov, ok := p.work.(*network.Overlay); ok {
+			// The overlay's recorded delta is the complete rewrite set —
+			// p.touched is only the {f, d} summary and extended division can
+			// rewrite nodes beyond the pair. A name missed here keeps a
+			// complement cover cached over its OLD fanin space, and the next
+			// filter probe indexes the new (shorter) fanin list with it.
+			for _, n := range ov.Added() {
+				cc.invalidate(nw, n.Name)
+				sigs.invalidate(n.Name)
+			}
+			for _, n := range ov.Changed() {
+				cc.invalidate(nw, n.Name)
+				sigs.invalidate(n.Name)
+			}
+			for _, name := range ov.Deleted() {
+				cc.invalidate(nw, name)
+				sigs.invalidate(name)
+			}
+			return
 		}
+		// Clone commit (CopyFrom): the rewrite set is not enumerable from
+		// the plan — the pooled path's Sweep can delete dead nodes p.touched
+		// never lists — so drop everything.
+		cc.reset()
+		sigs.reset()
 	}
 
 	if p.isNode() {
@@ -409,6 +430,9 @@ type evaluator struct {
 	// byte-exactly — bumps it: one redundant rebuild is cheaper than
 	// reasoning about undo fidelity here.
 	epoch uint64
+	// idx is the lazily rebuilt per-epoch graph index (fanouts + topo
+	// positions) shared read-only with workers; see passIndex.
+	idx *passIndex
 }
 
 func newEvaluator(workers int) *evaluator {
@@ -436,8 +460,10 @@ func newEvaluator(workers int) *evaluator {
 // cache key derivation and the audit fingerprints both need the cone
 // machinery only *Network carries, and every caller holds the live network.
 func (ev *evaluator) plans(nw *network.Network, f string, cands []candidate, opt Options, sf *simSigFilter, tc *TrialCache) []planResult {
+	ix := ev.index(nw)
 	for _, sc := range ev.scratches {
 		sc.epoch = ev.epoch
+		sc.epochIdx = ix
 	}
 	res := make([]planResult, len(cands))
 	todo := make([]int, 0, len(cands))

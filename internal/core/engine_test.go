@@ -100,6 +100,10 @@ func TestStatsAccumulateAssociative(t *testing.T) {
 			CacheInvalidated:   14 * k,
 			ComplCacheHits:     15 * k,
 			ComplCacheMisses:   16 * k,
+			SpeculatedTrials:   17 * k,
+			DiscardedPlans:     18 * k,
+			BatchCommits:       19 * k,
+			ConflictEvictions:  20 * k,
 			Passes:             k,
 			PassTimes:          []time.Duration{time.Duration(k) * time.Millisecond},
 		}

@@ -72,7 +72,9 @@ func TestOverlayAuditDetectsCorruptedPlan(t *testing.T) {
 
 // TestSubstituteOverlayInvariant is the result-invisibility contract of the
 // copy-on-write trial path: the committed BLIF is byte-identical with
-// overlays on and off, at any worker count.
+// overlays on and off, at any worker count — and, since the batch scheduler
+// rides the same plan/commit machinery, with batching on and off too (all
+// eight combinations must agree).
 func TestSubstituteOverlayInvariant(t *testing.T) {
 	r := rand.New(rand.NewSource(43))
 	workersList := []int{1, 4, runtime.NumCPU()}
@@ -80,18 +82,20 @@ func TestSubstituteOverlayInvariant(t *testing.T) {
 		base := randomDAG(r, 4, 8)
 		want := ""
 		for _, noOverlay := range []bool{false, true} {
-			for _, w := range workersList {
-				nw := base.Clone()
-				Substitute(nw, Options{
-					Config: Extended, POS: true, Pool: true,
-					Workers: w, NoOverlay: noOverlay,
-				})
-				got := blif.ToString(nw)
-				if want == "" {
-					want = got
-				} else if got != want {
-					t.Fatalf("trial %d: overlay=%v workers=%d diverged\nwant:\n%s\ngot:\n%s",
-						trial, !noOverlay, w, want, got)
+			for _, noBatch := range []bool{false, true} {
+				for _, w := range workersList {
+					nw := base.Clone()
+					Substitute(nw, Options{
+						Config: Extended, POS: true, Pool: true,
+						Workers: w, NoOverlay: noOverlay, NoBatch: noBatch,
+					})
+					got := blif.ToString(nw)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("trial %d: overlay=%v batch=%v workers=%d diverged\nwant:\n%s\ngot:\n%s",
+							trial, !noOverlay, !noBatch, w, want, got)
+					}
 				}
 			}
 		}

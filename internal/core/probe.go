@@ -27,7 +27,7 @@ func PlannerBookkeepingProbe(nw *network.Network, opt Options) (candidates, lits
 		if fn == nil || fn.Cover.IsZero() {
 			continue
 		}
-		cands := candidateDivisors(nw, sigs, cc, fn.Name, opt)
+		cands := candidateDivisors(nw, sigs, cc, fn.Name, opt, nil)
 		candidates += len(cands)
 		lits += sc.factorLits(id, fn.Cover)
 		for _, c := range cands {

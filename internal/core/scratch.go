@@ -53,6 +53,22 @@ type scratch struct {
 	sharedEpoch uint64
 	sharedBuild *netlist.Build
 
+	// epochIdx is the evaluator's per-epoch graph index as of this wave.
+	// windowFor consults it read-only (fanouts/topoPos are immutable after
+	// the serial-side rebuild); validity is re-checked against (reader,
+	// epoch) via passIndex.matches, so a stale pointer is harmless.
+	epochIdx *passIndex
+
+	// Window-extraction arenas (windowFor's fast path): stamp sets for the
+	// include and frontier signal sets plus reusable BFS/list buffers, so a
+	// windowed trial allocates nothing proportional to the full network.
+	winInc   []uint32
+	winFr    []uint32
+	winCur   uint32
+	winQueue []winItem
+	winNodes []network.SigID
+	winIns   []string
+
 	// noOverlay mirrors Options.NoOverlay for the running trial (set at the
 	// planner entry points): trialClone hands out deep clones and every RAR
 	// pass rebuilds its netlist, exactly the historical engine.

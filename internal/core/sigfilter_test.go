@@ -30,7 +30,7 @@ func TestSigFilterSoundness(t *testing.T) {
 				if fn == nil || fn.Cover.IsZero() {
 					continue
 				}
-				cands := candidateDivisors(nw, sigs, cc, f, opt)
+				cands := candidateDivisors(nw, sigs, cc, f, opt, nil)
 				sf := newSimSigFilter(nw, f, cc, opt)
 				if sf == nil {
 					continue

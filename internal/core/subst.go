@@ -70,6 +70,18 @@ type Options struct {
 	// NoTrialCache disables trial memoization entirely (the `-nocache`
 	// flag). Only trial counts and wall time change; the result does not.
 	NoTrialCache bool
+	// NoBatch disables the cone-disjoint batch scheduler (batch.go): every
+	// dividend is then planned and committed one node at a time — the
+	// historical schedule, in which extra workers only widen a node's trial
+	// wave. The scheduler is result-invisible: the committed network is
+	// byte-identical with batching on or off, at any worker count (the
+	// invariant tests enforce it); only the scheduling statistics and wall
+	// time change. Batching is also disabled implicitly for ExtendedGDC
+	// (its trials are keyed on the whole-network state, so speculation
+	// across commits can never be validated) and under a DepthBudget
+	// (commit-time rejection re-opens a node's trial sequence, which only
+	// the serial schedule reproduces).
+	NoBatch bool
 	// NoOverlay disables the copy-on-write trial path: every division trial
 	// runs on a full deep clone of the network and every RAR pass rebuilds
 	// its netlist from scratch — the historical engine. The overlay path is
@@ -143,6 +155,25 @@ type Stats struct {
 	// ComplCacheHits/ComplCacheMisses count memoized complement-cover
 	// lookups (POS and complement-phase filtering).
 	ComplCacheHits, ComplCacheMisses int
+	// SpeculatedTrials counts trial verdicts the batch scheduler produced
+	// speculatively: divisor trials (cache replays included) and pooled
+	// trials evaluated against a batch-start snapshot before the sweep
+	// decided whether their dividend's speculation was still valid.
+	SpeculatedTrials int
+	// DiscardedPlans counts accepted plans thrown away unused — their
+	// member was evicted from the sweep (a conflicting earlier commit
+	// invalidated the speculation) or its commit failed. The classic
+	// wasted-speculation number: work that produced a committable plan the
+	// network never saw.
+	DiscardedPlans int
+	// BatchCommits counts plans committed straight out of a batch sweep
+	// (serial re-run commits after an eviction are ordinary Substitutions
+	// but not BatchCommits).
+	BatchCommits int
+	// ConflictEvictions counts members a sweep evicted and re-ran serially
+	// because an earlier commit of the same sweep invalidated their
+	// batch-start speculation.
+	ConflictEvictions int
 	// Passes counts completed sweeps over the network.
 	Passes int
 	// PassTimes records wall time per pass.
@@ -175,6 +206,10 @@ func (s *Stats) Accumulate(o Stats) {
 	s.CacheCollisions += o.CacheCollisions
 	s.ComplCacheHits += o.ComplCacheHits
 	s.ComplCacheMisses += o.ComplCacheMisses
+	s.SpeculatedTrials += o.SpeculatedTrials
+	s.DiscardedPlans += o.DiscardedPlans
+	s.BatchCommits += o.BatchCommits
+	s.ConflictEvictions += o.ConflictEvictions
 	s.Passes += o.Passes
 	s.PassTimes = append(s.PassTimes, o.PassTimes...)
 }
@@ -265,6 +300,27 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	cc := newComplCache(maxCompl)
 	sigs := newSigCache(nw)
 
+	r := &run{
+		nw:        nw,
+		opt:       opt,
+		maxTrials: maxTrials,
+		ev:        ev,
+		st:        &st,
+		cc:        cc,
+		sigs:      sigs,
+		tc:        tc,
+		sigTab:    sigTab,
+		coneTab:   coneTab,
+	}
+	// The cone-disjoint batch scheduler (batch.go) speculates whole groups
+	// of cone-disjoint dividends per worker dispatch and commits the
+	// surviving plans in one serial sweep, so every in-flight trial is
+	// committable work instead of a wave that dies with the first commit.
+	// See Options.NoBatch for when it must stay off.
+	if !opt.NoBatch && opt.Config != ExtendedGDC && opt.DepthBudget <= 0 {
+		r.sched = newBatchScheduler(r)
+	}
+
 	for pass := 0; pass < maxPasses; pass++ {
 		passStart := clk.Now()
 		changed := false
@@ -276,95 +332,16 @@ func Substitute(nw *network.Network, opt Options) Stats {
 		ids := append([]network.SigID(nil), nw.TopoOrderIDs()...)
 		// Work outputs-first: substituting into later nodes first tends to
 		// expose more sharing.
-		for i := len(ids) - 1; i >= 0; i-- {
-			fn := nw.NodeByID(ids[i])
-			if fn == nil || fn.Cover.IsZero() {
-				continue
+		if r.sched != nil {
+			for i := len(ids) - 1; i >= 0; {
+				n, ch := r.sched.runBatch(ids, i)
+				changed = changed || ch
+				i -= n
 			}
-			f := fn.Name
-			cands := candidateDivisors(nw, sigs, cc, f, opt)
-			if len(cands) > maxTrials {
-				cands = cands[:maxTrials]
-			}
-			// The candidate list above is fixed before filtering: the
-			// signature prefilter only short-circuits trials inside it (it
-			// never reorders or reveals extra candidates), which is what
-			// keeps the committed network identical with the filter off.
-			var sf *simSigFilter
-			if len(cands) > 0 {
-				if sigTab != nil {
-					sigTab.Refresh()
-				}
-				if coneTab != nil {
-					st.CacheInvalidated += coneTab.Refresh()
-				}
-				sf = newSimSigFilter(nw, f, cc, opt)
-			}
-			committed := false
-			if opt.BestGain {
-				// Evaluate every candidate and commit the best gain (ties
-				// broken toward the earliest candidate, like the serial scan).
-				// When a commit is depth-rejected the next-best positive-gain
-				// plan is tried — the rejection was undone byte-exactly, so
-				// every other plan of the batch is still valid, and
-				// abandoning the node outright would make BestGain strictly
-				// weaker than the greedy rule under a DepthBudget.
-				results := ev.plans(nw, f, cands, opt, sf, tc)
-				tallySigFilter(&st, results, sf, tc != nil)
-				order := make([]int, 0, len(results))
-				for i, r := range results {
-					if r.ok && r.p.gain > 0 {
-						order = append(order, i)
-					}
-				}
-				sort.SliceStable(order, func(a, b int) bool {
-					return results[order[a]].p.gain > results[order[b]].p.gain
-				})
-				for _, i := range order {
-					if ev.commit(nw, results[i].p, opt, cc, sigs, &st) {
-						changed = true
-						committed = true
-						break
-					}
-				}
-			} else {
-				// First-positive-gain rule, in waves of one planner batch:
-				// the reducer walks each wave in candidate order and commits
-				// the first positive-gain plan, exactly like the serial scan
-				// (with Workers=1 the wave size is 1 and the schedule is the
-				// historical one, trial for trial).
-				wave := ev.workers
-				for start := 0; start < len(cands) && !committed; start += wave {
-					end := start + wave
-					if end > len(cands) {
-						end = len(cands)
-					}
-					results := ev.plans(nw, f, cands[start:end], opt, sf, tc)
-					tallySigFilter(&st, results, sf, tc != nil)
-					for _, r := range results {
-						if !r.ok || r.p.gain <= 0 {
-							continue
-						}
-						if ev.commit(nw, r.p, opt, cc, sigs, &st) {
-							changed = true
-							committed = true
-							break // paper: take the first positive-gain division
-						}
-						// Depth-rejected commit was undone byte-exactly;
-						// the remaining plans of the wave are still valid.
-					}
-				}
-			}
-			if !committed && opt.Pool && opt.Config != Basic {
-				ev.scratches[0].epoch = ev.epoch
-				if p, ok := planPooled(ev.scratches[0], nw, f, cands, opt); ok {
-					// Pooled divisions historically bypass the depth budget:
-					// they only run when nothing else committed.
-					poolOpt := opt
-					poolOpt.DepthBudget = 0
-					if ev.commit(nw, p, poolOpt, cc, sigs, &st) {
-						changed = true
-					}
+		} else {
+			for i := len(ids) - 1; i >= 0; i-- {
+				if r.substituteNode(ids[i]) {
+					changed = true
 				}
 			}
 		}
@@ -380,6 +357,143 @@ func Substitute(nw *network.Network, opt Options) Stats {
 	st.ComplCacheMisses = cc.misses
 	st.LitsAfter = nw.FactoredLits()
 	return st
+}
+
+// run bundles one Substitute call's live state: the network, the resolved
+// options, the evaluator and its caches. It exists so the per-dividend
+// trial-and-commit sequence (substituteNode) is callable from both the
+// serial driver loop and the batch scheduler's eviction path.
+type run struct {
+	nw        *network.Network
+	opt       Options
+	maxTrials int
+	ev        *evaluator
+	st        *Stats
+	cc        *complCache
+	sigs      *sigCache
+	tc        *TrialCache
+	sigTab    *network.SigTable
+	coneTab   *network.ConeTable
+	sched     *batchScheduler // nil = batch scheduling off
+}
+
+// commit routes a plan through the evaluator's serial committer. While a
+// batch sweep is active it also folds the commit's touched and support
+// sets into the scheduler's conflict marks, so eviction checks for later
+// members of the sweep see serial re-run commits too — not only the
+// sweep's own plan commits.
+func (r *run) commit(p plan, opt Options) bool {
+	s := r.sched
+	if s == nil || !s.sweeping {
+		return r.ev.commit(r.nw, p, opt, r.cc, r.sigs, r.st)
+	}
+	pre := s.precommit(&p)
+	ok := r.ev.commit(r.nw, p, opt, r.cc, r.sigs, r.st)
+	if ok {
+		s.postcommit(pre)
+	}
+	return ok
+}
+
+// substituteNode runs the full serial trial-and-commit sequence for one
+// dividend — the historical per-node schedule — and reports whether a plan
+// committed. The serial driver calls it for every node; the batch
+// scheduler calls it for single-member batches and for members its sweep
+// evicted.
+func (r *run) substituteNode(id network.SigID) bool {
+	nw, opt, ev, st := r.nw, r.opt, r.ev, r.st
+	fn := nw.NodeByID(id)
+	if fn == nil || fn.Cover.IsZero() {
+		return false
+	}
+	f := fn.Name
+	cands := candidateDivisors(nw, r.sigs, r.cc, f, opt, ev.index(nw))
+	if len(cands) > r.maxTrials {
+		cands = cands[:r.maxTrials]
+	}
+	// The candidate list above is fixed before filtering: the
+	// signature prefilter only short-circuits trials inside it (it
+	// never reorders or reveals extra candidates), which is what
+	// keeps the committed network identical with the filter off.
+	var sf *simSigFilter
+	if len(cands) > 0 {
+		if r.sigTab != nil {
+			r.sigTab.Refresh()
+		}
+		if r.coneTab != nil {
+			st.CacheInvalidated += r.coneTab.Refresh()
+		}
+		sf = newSimSigFilter(nw, f, r.cc, opt)
+	}
+	changed := false
+	committed := false
+	if opt.BestGain {
+		// Evaluate every candidate and commit the best gain (ties
+		// broken toward the earliest candidate, like the serial scan).
+		// When a commit is depth-rejected the next-best positive-gain
+		// plan is tried — the rejection was undone byte-exactly, so
+		// every other plan of the batch is still valid, and
+		// abandoning the node outright would make BestGain strictly
+		// weaker than the greedy rule under a DepthBudget.
+		results := ev.plans(nw, f, cands, opt, sf, r.tc)
+		tallySigFilter(st, results, sf, r.tc != nil)
+		order := make([]int, 0, len(results))
+		for i, res := range results {
+			if res.ok && res.p.gain > 0 {
+				order = append(order, i)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return results[order[a]].p.gain > results[order[b]].p.gain
+		})
+		for _, i := range order {
+			if r.commit(results[i].p, opt) {
+				changed = true
+				committed = true
+				break
+			}
+		}
+	} else {
+		// First-positive-gain rule, in waves of one planner batch:
+		// the reducer walks each wave in candidate order and commits
+		// the first positive-gain plan, exactly like the serial scan
+		// (with Workers=1 the wave size is 1 and the schedule is the
+		// historical one, trial for trial).
+		wave := ev.workers
+		for start := 0; start < len(cands) && !committed; start += wave {
+			end := start + wave
+			if end > len(cands) {
+				end = len(cands)
+			}
+			results := ev.plans(nw, f, cands[start:end], opt, sf, r.tc)
+			tallySigFilter(st, results, sf, r.tc != nil)
+			for _, res := range results {
+				if !res.ok || res.p.gain <= 0 {
+					continue
+				}
+				if r.commit(res.p, opt) {
+					changed = true
+					committed = true
+					break // paper: take the first positive-gain division
+				}
+				// Depth-rejected commit was undone byte-exactly;
+				// the remaining plans of the wave are still valid.
+			}
+		}
+	}
+	if !committed && opt.Pool && opt.Config != Basic {
+		ev.scratches[0].epoch = ev.epoch
+		if p, ok := planPooled(ev.scratches[0], nw, f, cands, opt); ok {
+			// Pooled divisions historically bypass the depth budget:
+			// they only run when nothing else committed.
+			poolOpt := opt
+			poolOpt.DepthBudget = 0
+			if r.commit(p, poolOpt) {
+				changed = true
+			}
+		}
+	}
+	return changed
 }
 
 // tallySigFilter folds one planner batch into the statistics: filtered
@@ -488,6 +602,14 @@ func (sc *sigCache) invalidate(name string) {
 	}
 }
 
+// reset drops every entry (see complCache.reset).
+func (sc *sigCache) reset() {
+	for i := range sc.has {
+		sc.has[i] = false
+		sc.sigs[i] = nil
+	}
+}
+
 func coverSigs(cov cube.Cover, fanins []string) [][]sigLit {
 	out := make([][]sigLit, 0, cov.NumCubes())
 	for _, c := range cov.Cubes {
@@ -550,7 +672,22 @@ func anyContainment(dSigs, fSigs [][]sigLit) bool {
 // name, then form) so the paper's first-positive-gain rule sees the
 // likeliest divisors early. The order is deterministic — it is the trial
 // order the engine's reducer replays plans in.
-func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f string, opt Options) []candidate {
+//
+// With a passIndex for nw, enumeration is support-local: only the fanouts
+// of f's fanins are visited (the set every candidate provably belongs to —
+// see below), replacing the historical all-nodes scan plus per-dividend
+// TFOSetIDs rebuild, which made a pass O(V²) on large circuits. ix == nil
+// (one-shot wrappers, probes, tests) falls back to the full scan. Both
+// enumerations return identical lists: every division form requires
+// anyContainment — a non-empty divisor-side cube whose literals are a
+// subset of a dividend-side cube's literals. Literal signatures are
+// (fanin-name, phase) pairs drawn from the respective nodes' own fanin
+// lists (complement covers keep their node's variable space), so a passing
+// candidate shares at least one fanin signal with f and is therefore a
+// fanout of one of f's fanins. The final sort key (overlap, name, form) is
+// total — no two candidates compare equal — so the enumeration order never
+// shows through (TestCandidateEnumerationEquivalence locks the claim).
+func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f string, opt Options, ix *passIndex) []candidate {
 	fSigs := sigs.get(f)
 	fn := nw.Node(f)
 	var fcSigs [][]sigLit
@@ -560,21 +697,10 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 		}
 	}
 	fid, _ := nw.IDOf(f)
-	tfo := nw.TFOSetIDs(fid) // divisors inside f's fanout cone would form cycles
 	var out []scored
-	for _, d := range nw.SortedNodeNames() {
-		if d == f {
-			continue
-		}
-		dn := nw.Node(d)
-		if dn == nil || dn.Cover.IsZero() || dn.Cover.NumCubes() == 0 {
-			continue
-		}
+	consider := func(d string, dn *network.Node) {
 		if dn.Cover.NumCubes() == 1 && dn.Cover.Cubes[0].IsUniverse() {
-			continue
-		}
-		if did, ok := nw.IDOf(d); ok && tfo[did] {
-			continue
+			return
 		}
 		// Support overlap by slice scan: fanin lists are a handful of
 		// signals, so linear containment beats building a support set per
@@ -604,6 +730,41 @@ func candidateDivisors(nw *network.Network, sigs *sigCache, cc *complCache, f st
 				}
 				out = append(out, scored{c, overlap})
 			}
+		}
+	}
+	if ix != nil && ix.nw == nw {
+		ix.beginTFO(fid) // divisors inside f's fanout cone would form cycles
+		ix.beginCand()
+		ix.candMark(fid)
+		for _, s := range nw.FaninIDsOf(fid) {
+			if int(s) >= len(ix.fanouts) {
+				continue
+			}
+			for _, u := range ix.fanouts[s] {
+				if !ix.candMark(u) || ix.inTFO(u) {
+					continue
+				}
+				dn := nw.NodeByID(u)
+				if dn == nil || dn.Cover.IsZero() || dn.Cover.NumCubes() == 0 {
+					continue
+				}
+				consider(dn.Name, dn)
+			}
+		}
+	} else {
+		tfo := nw.TFOSetIDs(fid)
+		for _, d := range nw.SortedNodeNames() {
+			if d == f {
+				continue
+			}
+			dn := nw.Node(d)
+			if dn == nil || dn.Cover.IsZero() || dn.Cover.NumCubes() == 0 {
+				continue
+			}
+			if did, ok := nw.IDOf(d); ok && tfo[did] {
+				continue
+			}
+			consider(d, dn)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return lessScored(out[i], out[j]) })

@@ -67,7 +67,7 @@ func TestSubstitutePOSCandidateOfferedAndCommitSound(t *testing.T) {
 	nw := posNetwork()
 	cc := newComplCache(DefaultMaxComplementCubes)
 	sigs := newSigCache(nw)
-	cands := candidateDivisors(nw, sigs, cc, "f", Options{Config: Basic, POS: true})
+	cands := candidateDivisors(nw, sigs, cc, "f", Options{Config: Basic, POS: true}, nil)
 	foundPOS := false
 	for _, c := range cands {
 		if c.name == "d0" && c.pos {
@@ -228,7 +228,7 @@ func TestWindowForShape(t *testing.T) {
 	nw.AddNode("f", []string{"n3", "a", "b"}, cube.ParseCover(3, "ab + c"))
 	nw.AddPO("f")
 	nw.AddPO("d")
-	w := windowFor(nw, "f", "d", 1)
+	w := windowFor(newScratch(), nw, "f", "d", 1)
 	if w.Node("f") == nil || w.Node("d") == nil {
 		t.Fatal("window must contain f and d")
 	}

@@ -25,41 +25,55 @@ func TestSubstituteTrialCacheInvariant(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range workerSet {
-			opt := Options{
-				Config:    cfg,
-				POS:       true,
-				Pool:      true,
-				MaxPasses: 3,
-				Workers:   workers,
-				Audit:     true,
+		// The committed network must also be invariant across the batch
+		// scheduler's on/off axis (and every worker count on both sides);
+		// only the stats granularity may differ between batch modes, so the
+		// field-for-field stats comparison below stays within one mode.
+		wantBLIF := ""
+		for _, noBatch := range []bool{false, true} {
+			for _, workers := range workerSet {
+				opt := Options{
+					Config:    cfg,
+					POS:       true,
+					Pool:      true,
+					MaxPasses: 3,
+					Workers:   workers,
+					Audit:     true,
+					NoBatch:   noBatch,
+				}
+				on := base.Clone()
+				stOn := Substitute(on, opt)
+				opt.NoTrialCache = true
+				off := base.Clone()
+				stOff := Substitute(off, opt)
+				if a, b := blif.ToString(on), blif.ToString(off); a != b {
+					t.Fatalf("%s cfg %v workers %d batch=%v: trial cache changed the committed network\n--- cache on ---\n%s\n--- cache off ---\n%s",
+						label, cfg, workers, !noBatch, a, b)
+				}
+				if wantBLIF == "" {
+					wantBLIF = blif.ToString(on)
+				} else if got := blif.ToString(on); got != wantBLIF {
+					t.Fatalf("%s cfg %v workers %d batch=%v: batch scheduler changed the committed network\nwant:\n%s\ngot:\n%s",
+						label, cfg, workers, !noBatch, wantBLIF, got)
+				}
+				// Full stats equality modulo the cache's own counters and wall
+				// time: zero them and compare the rest field-for-field.
+				normOn, normOff := stOn, stOff
+				normOn.CacheHits, normOn.CacheMisses, normOn.CacheInvalidated = 0, 0, 0
+				normOff.CacheHits, normOff.CacheMisses, normOff.CacheInvalidated = 0, 0, 0
+				normOn.PassTimes, normOff.PassTimes = nil, nil
+				if !reflect.DeepEqual(normOn, normOff) {
+					t.Errorf("%s cfg %v workers %d batch=%v: stats diverged beyond cache counters:\non  %+v\noff %+v",
+						label, cfg, workers, !noBatch, normOn, normOff)
+				}
+				if stOff.CacheHits != 0 || stOff.CacheMisses != 0 || stOff.CacheInvalidated != 0 {
+					t.Errorf("%s cfg %v workers %d: disabled cache recorded activity: %+v", label, cfg, workers, stOff)
+				}
+				if got, want := stOn.CacheHits+stOn.CacheMisses, stOn.DivisorTrials; got != want {
+					t.Errorf("%s cfg %v workers %d: hits+misses = %d, trials = %d", label, cfg, workers, got, want)
+				}
+				totalHits += stOn.CacheHits
 			}
-			on := base.Clone()
-			stOn := Substitute(on, opt)
-			opt.NoTrialCache = true
-			off := base.Clone()
-			stOff := Substitute(off, opt)
-			if a, b := blif.ToString(on), blif.ToString(off); a != b {
-				t.Fatalf("%s cfg %v workers %d: trial cache changed the committed network\n--- cache on ---\n%s\n--- cache off ---\n%s",
-					label, cfg, workers, a, b)
-			}
-			// Full stats equality modulo the cache's own counters and wall
-			// time: zero them and compare the rest field-for-field.
-			normOn, normOff := stOn, stOff
-			normOn.CacheHits, normOn.CacheMisses, normOn.CacheInvalidated = 0, 0, 0
-			normOff.CacheHits, normOff.CacheMisses, normOff.CacheInvalidated = 0, 0, 0
-			normOn.PassTimes, normOff.PassTimes = nil, nil
-			if !reflect.DeepEqual(normOn, normOff) {
-				t.Errorf("%s cfg %v workers %d: stats diverged beyond cache counters:\non  %+v\noff %+v",
-					label, cfg, workers, normOn, normOff)
-			}
-			if stOff.CacheHits != 0 || stOff.CacheMisses != 0 || stOff.CacheInvalidated != 0 {
-				t.Errorf("%s cfg %v workers %d: disabled cache recorded activity: %+v", label, cfg, workers, stOff)
-			}
-			if got, want := stOn.CacheHits+stOn.CacheMisses, stOn.DivisorTrials; got != want {
-				t.Errorf("%s cfg %v workers %d: hits+misses = %d, trials = %d", label, cfg, workers, got, want)
-			}
-			totalHits += stOn.CacheHits
 		}
 	}
 	for trial := 0; trial < 4; trial++ {

@@ -313,12 +313,14 @@ func (t Table) Print(w io.Writer) {
 
 // PrintStats renders the substitution engine's observability counters for
 // every RAR cell: divisor trials, depth-budget rejections, cache traffic,
-// and per-pass wall times (the `-v` view of cmd/experiments).
+// batch-scheduler speculation (spec/disc/bcmt/evict), and per-pass wall
+// times (the `-v` view of cmd/experiments).
 func (t Table) PrintStats(w io.Writer) {
 	fmt.Fprintf(w, "substitution engine counters (table %s)\n", roman(t.Number))
-	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %7s %7s %6s %13s %6s %6s %12s %12s  %s\n",
+	fmt.Fprintf(w, "%-10s %-7s %6s %7s %7s %7s %7s %6s %13s %6s %6s %12s %12s %6s %6s %6s %6s  %s\n",
 		"circuit", "alg", "subs", "trials", "sigrej", "deprej", "fpass", "fp%",
-		"trialcache", "hit%", "inval", "sigcache", "complcache", "pass times")
+		"trialcache", "hit%", "inval", "sigcache", "complcache",
+		"spec", "disc", "bcmt", "evict", "pass times")
 	for _, r := range t.Rows {
 		for _, alg := range t.algorithms() {
 			s := r.Cells[alg].Sub
@@ -332,11 +334,12 @@ func (t Table) PrintStats(w io.Writer) {
 				}
 				times += fmt.Sprintf("%.3fs", d.Seconds())
 			}
-			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %7d %7d %5.1f%% %6d/%-6d %5.1f%% %6d %5d/%-6d %5d/%-6d  %s\n",
+			fmt.Fprintf(w, "%-10s %-7s %6d %7d %7d %7d %7d %5.1f%% %6d/%-6d %5.1f%% %6d %5d/%-6d %5d/%-6d %6d %6d %6d %6d  %s\n",
 				r.Circuit, alg, s.Substitutions, s.DivisorTrials, s.SigFilterReject,
 				s.DepthRejected, s.SigFilterFalsePass, 100*s.FalsePassRate(),
 				s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheInvalidated,
-				s.SigCacheHits, s.SigCacheMisses, s.ComplCacheHits, s.ComplCacheMisses, times)
+				s.SigCacheHits, s.SigCacheMisses, s.ComplCacheHits, s.ComplCacheMisses,
+				s.SpeculatedTrials, s.DiscardedPlans, s.BatchCommits, s.ConflictEvictions, times)
 		}
 	}
 }

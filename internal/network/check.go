@@ -314,6 +314,11 @@ func (nw *Network) checkCones() error {
 			return fmt.Errorf("network %q: stale cone hash for %q: stored %x, recomputed %x — an edit path missed markDirty", nw.Name, nw.defs[id].Name, t.h[id], want)
 		}
 	}
+	if t.netDirty {
+		// A RefreshScoped deferred the net refold; the stored digest is
+		// stale by design until NetHash or Refresh refolds it.
+		return nil
+	}
 	net := t.net
 	t.refoldNet()
 	if t.net != net {

@@ -108,6 +108,7 @@ type ConeTable struct {
 	dirtyList []SigID    // the marked IDs, in marking order
 	allDirty  bool       // whole-network rewrite (CopyFrom): recompute all
 	net       ConeHash   // order-sensitive whole-network digest
+	netDirty  bool       // node hashes refreshed but net not yet refolded
 }
 
 // EnableCones attaches (or returns the already attached, refreshed) cone
@@ -207,10 +208,18 @@ func (t *ConeTable) Hash(name string) (ConeHash, bool) {
 
 // NetHash returns the order-sensitive whole-network digest: every node's
 // cone hash folded in creation order, plus the PI and PO lists. Any
-// committed rewrite changes it. ok=false while an edit is pending.
+// committed rewrite changes it. ok=false while an edit is pending. After a
+// RefreshScoped the first call refolds the digest lazily — that first call
+// must be serial; once refolded, concurrent calls are pure reads (Refresh
+// always leaves the digest folded, so the historical contract holds for
+// every Refresh caller).
 func (t *ConeTable) NetHash() (ConeHash, bool) {
 	if t.allDirty || len(t.dirtyList) > 0 {
 		return ConeHash{}, false
+	}
+	if t.netDirty {
+		t.refoldNet()
+		t.netDirty = false
 	}
 	return t.net, true
 }
@@ -259,6 +268,29 @@ func (t *ConeTable) compute(id SigID, n *Node) ConeHash {
 // cone keys a committed rewrite killed; signals hashed for the first time
 // are not counted.
 func (t *ConeTable) Refresh() int {
+	n := t.refresh(nil, nil)
+	if t.netDirty {
+		t.refoldNet()
+		t.netDirty = false
+	}
+	return n
+}
+
+// RefreshScoped is Refresh with two costs deferred for the batch
+// scheduler's per-batch cadence: the caller supplies the current fanout
+// adjacency and topological order (the scheduler's pass index already has
+// both — recomputing them here doubled the per-batch O(V+E) rebuild), and
+// the whole-network digest is left stale until the next NetHash or Refresh
+// call refolds it. NetHash's lazy refold is NOT safe under concurrent
+// readers, so RefreshScoped is only for callers that never publish the
+// table to goroutines needing NetHash — the batch scheduler qualifies
+// because batching is disabled for ExtendedGDC, the one configuration
+// whose trial keys read the net digest.
+func (t *ConeTable) RefreshScoped(fanouts [][]SigID, topo []SigID) int {
+	return t.refresh(fanouts, topo)
+}
+
+func (t *ConeTable) refresh(fanouts [][]SigID, topo []SigID) int {
 	nw := t.nw
 	if !t.allDirty && len(t.dirtyList) == 0 {
 		return 0
@@ -272,7 +304,9 @@ func (t *ConeTable) Refresh() int {
 			}
 		}
 	} else {
-		fanouts := nw.FanoutIDs()
+		if fanouts == nil {
+			fanouts = nw.FanoutIDs()
+		}
 		stack := append([]SigID(nil), t.dirtyList...)
 		for _, id := range t.dirtyList {
 			need[id] = true
@@ -293,8 +327,11 @@ func (t *ConeTable) Refresh() int {
 			}
 		}
 	}
+	if topo == nil {
+		topo = nw.TopoOrderIDs()
+	}
 	invalidated := 0
-	for _, id := range nw.TopoOrderIDs() {
+	for _, id := range topo {
 		if !need[id] {
 			continue
 		}
@@ -317,7 +354,7 @@ func (t *ConeTable) Refresh() int {
 	}
 	t.dirtyList = t.dirtyList[:0]
 	t.allDirty = false
-	t.refoldNet()
+	t.netDirty = true
 	return invalidated
 }
 

@@ -226,6 +226,18 @@ func (t *SigTable) SigByID(id SigID) (Signature, bool) {
 // for signals that no longer exist are dropped. With nothing dirty the call
 // returns immediately.
 func (t *SigTable) Refresh() {
+	t.refresh(nil, nil)
+}
+
+// RefreshScoped is Refresh with the fanout adjacency and topological order
+// supplied by a caller that already has both current (the batch
+// scheduler's pass index) — recomputing them per Refresh doubled the
+// per-batch O(V+E) rebuild on large circuits.
+func (t *SigTable) RefreshScoped(fanouts [][]SigID, topo []SigID) {
+	t.refresh(fanouts, topo)
+}
+
+func (t *SigTable) refresh(fanouts [][]SigID, topo []SigID) {
 	nw := t.nw
 	if !t.allDirty && len(t.dirtyList) == 0 {
 		return
@@ -241,7 +253,9 @@ func (t *SigTable) Refresh() {
 	} else {
 		// Dirty closure: dirty signals plus their transitive fanout in the
 		// current graph.
-		fanouts := nw.FanoutIDs()
+		if fanouts == nil {
+			fanouts = nw.FanoutIDs()
+		}
 		stack := append([]SigID(nil), t.dirtyList...)
 		for _, id := range t.dirtyList {
 			need[id] = true
@@ -270,8 +284,11 @@ func (t *SigTable) Refresh() {
 			t.known[pi] = true
 		}
 	}
+	if topo == nil {
+		topo = nw.TopoOrderIDs()
+	}
 	val := make([]uint64, nw.sym.Len())
-	for _, id := range nw.TopoOrderIDs() {
+	for _, id := range topo {
 		if !need[id] {
 			continue
 		}
